@@ -1,0 +1,204 @@
+//! Plain breadth-first search — the "BFS" column of Table 3.
+//!
+//! The engine reuses its distance array between queries by timestamping
+//! visits instead of clearing, which is the standard "optimised
+//! implementation of breadth-first algorithm" the paper compares against:
+//! per-query cost is proportional to the explored region, not to `n`.
+
+use std::collections::VecDeque;
+
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId};
+
+use crate::{PathEngine, PointToPoint};
+
+/// Breadth-first point-to-point engine over a borrowed graph.
+pub struct BfsEngine<'g> {
+    graph: &'g CsrGraph,
+    /// Visit stamp for each node; a node is "visited in this query" iff
+    /// `stamp[v] == current_stamp`.
+    stamp: Vec<u32>,
+    distance: Vec<Distance>,
+    parent: Vec<NodeId>,
+    current_stamp: u32,
+    queue: VecDeque<NodeId>,
+    operations: u64,
+}
+
+impl<'g> BfsEngine<'g> {
+    /// Create a BFS engine for `graph`. Allocates O(n) scratch space once.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        let n = graph.node_count();
+        BfsEngine {
+            graph,
+            stamp: vec![0; n],
+            distance: vec![0; n],
+            parent: vec![0; n],
+            current_stamp: 0,
+            queue: VecDeque::new(),
+            operations: 0,
+        }
+    }
+
+    /// Run BFS from `s` until `t` is settled. Returns the distance if found.
+    fn search(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        let n = self.graph.node_count();
+        if (s as usize) >= n || (t as usize) >= n {
+            return None;
+        }
+        self.operations = 0;
+        if s == t {
+            return Some(0);
+        }
+        self.current_stamp = self.current_stamp.wrapping_add(1);
+        if self.current_stamp == 0 {
+            // Stamp wrapped around: clear everything once and restart at 1.
+            self.stamp.iter_mut().for_each(|x| *x = 0);
+            self.current_stamp = 1;
+        }
+        let stamp = self.current_stamp;
+        self.queue.clear();
+        self.stamp[s as usize] = stamp;
+        self.distance[s as usize] = 0;
+        self.parent[s as usize] = s;
+        self.queue.push_back(s);
+
+        while let Some(u) = self.queue.pop_front() {
+            self.operations += 1;
+            let du = self.distance[u as usize];
+            for &v in self.graph.neighbors(u) {
+                if self.stamp[v as usize] != stamp {
+                    self.stamp[v as usize] = stamp;
+                    self.distance[v as usize] = du + 1;
+                    self.parent[v as usize] = u;
+                    if v == t {
+                        return Some(du + 1);
+                    }
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Reconstruct the path to `t` after a successful [`Self::search`].
+    fn reconstruct(&self, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        let mut path = vec![t];
+        let mut cur = t;
+        while cur != s {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+impl PointToPoint for BfsEngine<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        self.search(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn last_operations(&self) -> u64 {
+        self.operations
+    }
+}
+
+impl PathEngine for BfsEngine<'_> {
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        self.search(s, t)?;
+        if s == t {
+            return Some(vec![s]);
+        }
+        Some(self.reconstruct(s, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_path;
+    use vicinity_graph::algo::bfs::bfs_distances;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+    use vicinity_graph::builder::GraphBuilder;
+
+    #[test]
+    fn distances_on_grid_match_reference() {
+        let g = classic::grid(6, 6);
+        let mut engine = BfsEngine::new(&g);
+        let reference = bfs_distances(&g, 0);
+        for t in g.nodes() {
+            assert_eq!(engine.distance(0, t), Some(reference[t as usize]));
+        }
+    }
+
+    #[test]
+    fn identical_endpoints_are_distance_zero() {
+        let g = classic::path(4);
+        let mut engine = BfsEngine::new(&g);
+        assert_eq!(engine.distance(2, 2), Some(0));
+        assert_eq!(engine.path(2, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn unreachable_and_invalid_nodes() {
+        let mut b = GraphBuilder::with_node_count(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build_undirected();
+        let mut engine = BfsEngine::new(&g);
+        assert_eq!(engine.distance(0, 3), None);
+        assert_eq!(engine.path(0, 3), None);
+        assert_eq!(engine.distance(0, 10), None);
+        assert_eq!(engine.distance(10, 0), None);
+    }
+
+    #[test]
+    fn paths_are_valid_and_shortest() {
+        let g = SocialGraphConfig::small_test().generate(17);
+        let mut engine = BfsEngine::new(&g);
+        let pairs = [(0u32, 5u32), (1, 100), (7, 300), (42, 999)];
+        for &(s, t) in &pairs {
+            let s = s % g.node_count() as u32;
+            let t = t % g.node_count() as u32;
+            if let Some(d) = engine.distance(s, t) {
+                let p = engine.path(s, t).unwrap();
+                assert_eq!(validate_path(&g, s, t, &p), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_state_correctly() {
+        let g = classic::cycle(10);
+        let mut engine = BfsEngine::new(&g);
+        for _ in 0..100 {
+            assert_eq!(engine.distance(0, 5), Some(5));
+            assert_eq!(engine.distance(3, 4), Some(1));
+        }
+    }
+
+    #[test]
+    fn operations_are_reported() {
+        let g = classic::path(50);
+        let mut engine = BfsEngine::new(&g);
+        engine.distance(0, 49).unwrap();
+        assert!(engine.last_operations() > 0);
+        assert!(engine.last_operations() <= 50);
+        assert_eq!(engine.name(), "BFS");
+    }
+
+    #[test]
+    fn stamp_wraparound_is_handled() {
+        let g = classic::path(3);
+        let mut engine = BfsEngine::new(&g);
+        engine.current_stamp = u32::MAX - 1;
+        assert_eq!(engine.distance(0, 2), Some(2));
+        assert_eq!(engine.distance(0, 2), Some(2)); // wraps to 0 -> reset
+        assert_eq!(engine.distance(2, 0), Some(2));
+    }
+}

@@ -1,0 +1,307 @@
+//! Bidirectional breadth-first search — the "Bidirectional BFS" column of
+//! Table 3 and the paper's stand-in for the state-of-the-art point-to-point
+//! algorithm of Goldberg et al. [4].
+//!
+//! The search alternates between a forward frontier from `s` and a backward
+//! frontier from `t`, always expanding the smaller frontier, and terminates
+//! when the sum of the two search radii can no longer improve on the best
+//! meeting distance found so far. On unweighted undirected graphs this
+//! returns exact distances while exploring O(b^(d/2)) nodes instead of
+//! O(b^d).
+
+use std::collections::VecDeque;
+
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId, INFINITY};
+
+use crate::{PathEngine, PointToPoint};
+
+/// Bidirectional BFS point-to-point engine over a borrowed graph.
+pub struct BidirectionalBfs<'g> {
+    graph: &'g CsrGraph,
+    stamp_fwd: Vec<u32>,
+    stamp_bwd: Vec<u32>,
+    dist_fwd: Vec<Distance>,
+    dist_bwd: Vec<Distance>,
+    parent_fwd: Vec<NodeId>,
+    parent_bwd: Vec<NodeId>,
+    current_stamp: u32,
+    operations: u64,
+    /// The node where the two searches met on the last successful query.
+    last_meeting: Option<NodeId>,
+}
+
+impl<'g> BidirectionalBfs<'g> {
+    /// Create an engine for `graph`. Allocates O(n) scratch space once.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        let n = graph.node_count();
+        BidirectionalBfs {
+            graph,
+            stamp_fwd: vec![0; n],
+            stamp_bwd: vec![0; n],
+            dist_fwd: vec![0; n],
+            dist_bwd: vec![0; n],
+            parent_fwd: vec![0; n],
+            parent_bwd: vec![0; n],
+            current_stamp: 0,
+            operations: 0,
+            last_meeting: None,
+        }
+    }
+
+    fn bump_stamp(&mut self) -> u32 {
+        self.current_stamp = self.current_stamp.wrapping_add(1);
+        if self.current_stamp == 0 {
+            self.stamp_fwd.iter_mut().for_each(|x| *x = 0);
+            self.stamp_bwd.iter_mut().for_each(|x| *x = 0);
+            self.current_stamp = 1;
+        }
+        self.current_stamp
+    }
+
+    fn search(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        let n = self.graph.node_count();
+        self.operations = 0;
+        self.last_meeting = None;
+        if (s as usize) >= n || (t as usize) >= n {
+            return None;
+        }
+        if s == t {
+            self.last_meeting = Some(s);
+            return Some(0);
+        }
+        let stamp = self.bump_stamp();
+
+        let mut queue_fwd: VecDeque<NodeId> = VecDeque::new();
+        let mut queue_bwd: VecDeque<NodeId> = VecDeque::new();
+        self.stamp_fwd[s as usize] = stamp;
+        self.dist_fwd[s as usize] = 0;
+        self.parent_fwd[s as usize] = s;
+        queue_fwd.push_back(s);
+        self.stamp_bwd[t as usize] = stamp;
+        self.dist_bwd[t as usize] = 0;
+        self.parent_bwd[t as usize] = t;
+        queue_bwd.push_back(t);
+
+        let mut best: Distance = INFINITY;
+        let mut meeting: Option<NodeId> = None;
+        // Radii of the two searches (distance of the last fully expanded level).
+        let mut radius_fwd: Distance = 0;
+        let mut radius_bwd: Distance = 0;
+
+        while !queue_fwd.is_empty() && !queue_bwd.is_empty() {
+            // Termination: no undiscovered path can beat `best` once the
+            // frontier radii sum to at least it.
+            if best != INFINITY && radius_fwd + radius_bwd + 1 >= best {
+                break;
+            }
+            // Expand the smaller frontier by one full level.
+            let expand_forward = queue_fwd.len() <= queue_bwd.len();
+            if expand_forward {
+                let level = self.dist_fwd[*queue_fwd.front().expect("non-empty") as usize];
+                while let Some(&u) = queue_fwd.front() {
+                    if self.dist_fwd[u as usize] != level {
+                        break;
+                    }
+                    queue_fwd.pop_front();
+                    self.operations += 1;
+                    let du = self.dist_fwd[u as usize];
+                    for &v in self.graph.neighbors(u) {
+                        if self.stamp_fwd[v as usize] != stamp {
+                            self.stamp_fwd[v as usize] = stamp;
+                            self.dist_fwd[v as usize] = du + 1;
+                            self.parent_fwd[v as usize] = u;
+                            queue_fwd.push_back(v);
+                            if self.stamp_bwd[v as usize] == stamp {
+                                let total = du + 1 + self.dist_bwd[v as usize];
+                                if total < best {
+                                    best = total;
+                                    meeting = Some(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                radius_fwd = level + 1;
+            } else {
+                let level = self.dist_bwd[*queue_bwd.front().expect("non-empty") as usize];
+                while let Some(&u) = queue_bwd.front() {
+                    if self.dist_bwd[u as usize] != level {
+                        break;
+                    }
+                    queue_bwd.pop_front();
+                    self.operations += 1;
+                    let du = self.dist_bwd[u as usize];
+                    for &v in self.graph.neighbors(u) {
+                        if self.stamp_bwd[v as usize] != stamp {
+                            self.stamp_bwd[v as usize] = stamp;
+                            self.dist_bwd[v as usize] = du + 1;
+                            self.parent_bwd[v as usize] = u;
+                            queue_bwd.push_back(v);
+                            if self.stamp_fwd[v as usize] == stamp {
+                                let total = du + 1 + self.dist_fwd[v as usize];
+                                if total < best {
+                                    best = total;
+                                    meeting = Some(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                radius_bwd = level + 1;
+            }
+        }
+
+        if best == INFINITY {
+            None
+        } else {
+            self.last_meeting = meeting;
+            Some(best)
+        }
+    }
+
+    fn reconstruct(&self, s: NodeId, t: NodeId, meeting: NodeId) -> Vec<NodeId> {
+        // Forward half: meeting -> s, reversed.
+        let mut forward = vec![meeting];
+        let mut cur = meeting;
+        while cur != s {
+            cur = self.parent_fwd[cur as usize];
+            forward.push(cur);
+        }
+        forward.reverse();
+        // Backward half: meeting -> t (skip the meeting node itself).
+        let mut cur = meeting;
+        while cur != t {
+            cur = self.parent_bwd[cur as usize];
+            forward.push(cur);
+        }
+        forward
+    }
+}
+
+impl PointToPoint for BidirectionalBfs<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        self.search(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "Bidirectional BFS"
+    }
+
+    fn last_operations(&self) -> u64 {
+        self.operations
+    }
+}
+
+impl PathEngine for BidirectionalBfs<'_> {
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        self.search(s, t)?;
+        if s == t {
+            return Some(vec![s]);
+        }
+        let meeting = self.last_meeting.expect("successful search records a meeting node");
+        Some(self.reconstruct(s, t, meeting))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsEngine;
+    use crate::validate_path;
+    use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+    use vicinity_graph::algo::sampling::random_pairs;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_bfs_on_classic_graphs() {
+        for g in [classic::grid(7, 5), classic::cycle(11), classic::binary_tree(5)] {
+            let mut bi = BidirectionalBfs::new(&g);
+            let mut uni = BfsEngine::new(&g);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(bi.distance(s, t), uni.distance(s, t), "pair ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bfs_on_social_graph() {
+        let g = SocialGraphConfig::small_test().generate(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut bi = BidirectionalBfs::new(&g);
+        let mut uni = BfsEngine::new(&g);
+        for (s, t) in random_pairs(&g, 300, &mut rng) {
+            assert_eq!(bi.distance(s, t), uni.distance(s, t), "pair ({s},{t})");
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_and_shortest() {
+        let g = SocialGraphConfig::small_test().generate(6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut bi = BidirectionalBfs::new(&g);
+        for (s, t) in random_pairs(&g, 100, &mut rng) {
+            if let Some(d) = bi.distance(s, t) {
+                let p = bi.path(s, t).unwrap();
+                assert_eq!(validate_path(&g, s, t, &p), Some(d), "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn explores_fewer_nodes_than_unidirectional() {
+        let g = SocialGraphConfig::small_test().generate(9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut bi = BidirectionalBfs::new(&g);
+        let mut uni = BfsEngine::new(&g);
+        let mut bi_ops = 0u64;
+        let mut uni_ops = 0u64;
+        for (s, t) in random_pairs(&g, 50, &mut rng) {
+            bi.distance(s, t);
+            uni.distance(s, t);
+            bi_ops += bi.last_operations();
+            uni_ops += uni.last_operations();
+        }
+        assert!(bi_ops < uni_ops, "bidirectional ({bi_ops}) should beat unidirectional ({uni_ops})");
+    }
+
+    #[test]
+    fn handles_disconnected_and_degenerate_inputs() {
+        let mut b = GraphBuilder::with_node_count(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build_undirected();
+        let mut bi = BidirectionalBfs::new(&g);
+        assert_eq!(bi.distance(0, 4), None);
+        assert_eq!(bi.path(0, 4), None);
+        assert_eq!(bi.distance(0, 0), Some(0));
+        assert_eq!(bi.path(0, 0), Some(vec![0]));
+        assert_eq!(bi.distance(0, 100), None);
+        assert_eq!(bi.distance(100, 0), None);
+        assert_eq!(bi.name(), "Bidirectional BFS");
+    }
+
+    #[test]
+    fn repeated_queries_are_consistent() {
+        let g = classic::grid(10, 10);
+        let mut bi = BidirectionalBfs::new(&g);
+        for _ in 0..50 {
+            assert_eq!(bi.distance(0, 99), Some(18));
+            assert_eq!(bi.distance(5, 5), Some(0));
+        }
+    }
+
+    #[test]
+    fn stamp_wraparound_is_handled() {
+        let g = classic::path(4);
+        let mut bi = BidirectionalBfs::new(&g);
+        bi.current_stamp = u32::MAX - 1;
+        assert_eq!(bi.distance(0, 3), Some(3));
+        assert_eq!(bi.distance(0, 3), Some(3));
+        assert_eq!(bi.distance(3, 0), Some(3));
+    }
+}

@@ -1,0 +1,255 @@
+//! Bidirectional Dijkstra for weighted graphs.
+//!
+//! The weighted analogue of [`crate::bidirectional_bfs`]: two heaps grow
+//! from both endpoints and the search stops when the sum of the two minimum
+//! heap keys reaches the best meeting distance found so far.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vicinity_graph::weighted::WeightedCsrGraph;
+use vicinity_graph::{Distance, NodeId, INFINITY, INVALID_NODE};
+
+use crate::{PathEngine, PointToPoint};
+
+/// Bidirectional Dijkstra point-to-point engine.
+pub struct BidirectionalDijkstra<'g> {
+    graph: &'g WeightedCsrGraph,
+    dist_fwd: Vec<Distance>,
+    dist_bwd: Vec<Distance>,
+    parent_fwd: Vec<NodeId>,
+    parent_bwd: Vec<NodeId>,
+    touched: Vec<NodeId>,
+    operations: u64,
+    last_meeting: Option<NodeId>,
+}
+
+impl<'g> BidirectionalDijkstra<'g> {
+    /// Create an engine for `graph` (must be undirected).
+    pub fn new(graph: &'g WeightedCsrGraph) -> Self {
+        let n = graph.node_count();
+        BidirectionalDijkstra {
+            graph,
+            dist_fwd: vec![INFINITY; n],
+            dist_bwd: vec![INFINITY; n],
+            parent_fwd: vec![INVALID_NODE; n],
+            parent_bwd: vec![INVALID_NODE; n],
+            touched: Vec::new(),
+            operations: 0,
+            last_meeting: None,
+        }
+    }
+
+    fn reset(&mut self) {
+        for &u in &self.touched {
+            self.dist_fwd[u as usize] = INFINITY;
+            self.dist_bwd[u as usize] = INFINITY;
+            self.parent_fwd[u as usize] = INVALID_NODE;
+            self.parent_bwd[u as usize] = INVALID_NODE;
+        }
+        self.touched.clear();
+    }
+
+    fn search(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        let n = self.graph.node_count();
+        self.operations = 0;
+        self.last_meeting = None;
+        if (s as usize) >= n || (t as usize) >= n {
+            return None;
+        }
+        if s == t {
+            self.last_meeting = Some(s);
+            return Some(0);
+        }
+        self.reset();
+
+        let mut heap_fwd: BinaryHeap<Reverse<(Distance, NodeId)>> = BinaryHeap::new();
+        let mut heap_bwd: BinaryHeap<Reverse<(Distance, NodeId)>> = BinaryHeap::new();
+        self.dist_fwd[s as usize] = 0;
+        self.parent_fwd[s as usize] = s;
+        self.touched.push(s);
+        heap_fwd.push(Reverse((0, s)));
+        self.dist_bwd[t as usize] = 0;
+        self.parent_bwd[t as usize] = t;
+        self.touched.push(t);
+        heap_bwd.push(Reverse((0, t)));
+
+        let mut best = INFINITY;
+        let mut meeting = None;
+
+        loop {
+            let top_fwd = heap_fwd.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            let top_bwd = heap_bwd.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            if top_fwd == INFINITY && top_bwd == INFINITY {
+                break;
+            }
+            if best != INFINITY && top_fwd.saturating_add(top_bwd) >= best {
+                break;
+            }
+            // Expand from the side with the smaller next key.
+            let forward = top_fwd <= top_bwd;
+            let (heap, dist, other_dist, parent) = if forward {
+                (&mut heap_fwd, &mut self.dist_fwd, &self.dist_bwd, &mut self.parent_fwd)
+            } else {
+                (&mut heap_bwd, &mut self.dist_bwd, &self.dist_fwd, &mut self.parent_bwd)
+            };
+            let Some(Reverse((d, u))) = heap.pop() else { break };
+            if d > dist[u as usize] {
+                continue;
+            }
+            self.operations += 1;
+            for (v, w) in self.graph.neighbors(u) {
+                let nd = d.saturating_add(w);
+                if nd < dist[v as usize] {
+                    if dist[v as usize] == INFINITY && other_dist[v as usize] == INFINITY {
+                        self.touched.push(v);
+                    }
+                    dist[v as usize] = nd;
+                    parent[v as usize] = u;
+                    heap.push(Reverse((nd, v)));
+                }
+                if other_dist[v as usize] != INFINITY {
+                    let total = nd.saturating_add(other_dist[v as usize]);
+                    if total < best {
+                        best = total;
+                        meeting = Some(v);
+                    }
+                }
+            }
+        }
+
+        if best == INFINITY {
+            None
+        } else {
+            self.last_meeting = meeting;
+            Some(best)
+        }
+    }
+}
+
+impl PointToPoint for BidirectionalDijkstra<'_> {
+    fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        self.search(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "Bidirectional Dijkstra"
+    }
+
+    fn last_operations(&self) -> u64 {
+        self.operations
+    }
+}
+
+impl PathEngine for BidirectionalDijkstra<'_> {
+    fn path(&mut self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        self.search(s, t)?;
+        if s == t {
+            return Some(vec![s]);
+        }
+        let meeting = self.last_meeting.expect("successful search records meeting node");
+        let mut path = vec![meeting];
+        let mut cur = meeting;
+        while cur != s {
+            cur = self.parent_fwd[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        let mut cur = meeting;
+        while cur != t {
+            cur = self.parent_bwd[cur as usize];
+            path.push(cur);
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+    use vicinity_graph::weighted::WeightedCsrGraph;
+    use vicinity_graph::algo::sampling::random_pairs;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_unidirectional_dijkstra_unit_weights() {
+        let g = classic::grid(6, 7);
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let mut bi = BidirectionalDijkstra::new(&wg);
+        let mut uni = Dijkstra::new(&wg);
+        for s in [0u32, 10, 41] {
+            for t in g.nodes() {
+                assert_eq!(bi.distance(s, t), uni.distance(s, t), "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_unidirectional_dijkstra_random_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let base = SocialGraphConfig::small_test().generate(21);
+        let mut b = GraphBuilder::with_node_count(base.node_count());
+        for (u, v) in base.edges() {
+            b.add_weighted_edge(u, v, rng.gen_range(1..20));
+        }
+        let wg = b.build_undirected_weighted();
+        let mut bi = BidirectionalDijkstra::new(&wg);
+        let mut uni = Dijkstra::new(&wg);
+        for (s, t) in random_pairs(&base, 150, &mut rng) {
+            assert_eq!(bi.distance(s, t), uni.distance(s, t), "pair ({s},{t})");
+        }
+    }
+
+    #[test]
+    fn paths_are_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let base = SocialGraphConfig::small_test().generate(22);
+        let mut b = GraphBuilder::with_node_count(base.node_count());
+        for (u, v) in base.edges() {
+            b.add_weighted_edge(u, v, rng.gen_range(1..10));
+        }
+        let wg = b.build_undirected_weighted();
+        let mut bi = BidirectionalDijkstra::new(&wg);
+        for (s, t) in random_pairs(&base, 50, &mut rng) {
+            if let Some(d) = bi.distance(s, t) {
+                let p = bi.path(s, t).unwrap();
+                assert_eq!(p[0], s);
+                assert_eq!(*p.last().unwrap(), t);
+                // Path weight equals reported distance.
+                let weight: Distance = p
+                    .windows(2)
+                    .map(|w| wg.weight_between(w[0], w[1]).expect("edge exists"))
+                    .sum();
+                assert_eq!(weight, d);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut b = GraphBuilder::with_node_count(4);
+        b.add_weighted_edge(0, 1, 3);
+        let wg = b.build_undirected_weighted();
+        let mut bi = BidirectionalDijkstra::new(&wg);
+        assert_eq!(bi.distance(0, 3), None);
+        assert_eq!(bi.path(0, 3), None);
+        assert_eq!(bi.distance(1, 1), Some(0));
+        assert_eq!(bi.path(1, 1), Some(vec![1]));
+        assert_eq!(bi.distance(0, 8), None);
+        assert_eq!(bi.name(), "Bidirectional Dijkstra");
+    }
+
+    #[test]
+    fn repeated_queries_consistent() {
+        let g = classic::cycle(12);
+        let wg = WeightedCsrGraph::unit_weights(&g);
+        let mut bi = BidirectionalDijkstra::new(&wg);
+        for _ in 0..30 {
+            assert_eq!(bi.distance(0, 6), Some(6));
+            assert_eq!(bi.distance(2, 3), Some(1));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmarks comparing per-query latency of the vicinity oracle
+//! against the baselines of Table 3 (BFS, bidirectional BFS) and the
+//! related-work engines of §4 (ALT, landmark estimation). This is the
+//! micro-benchmark counterpart of the `table3_query_time` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use vicinity_baselines::alt::{AltEngine, AltLandmarkStrategy};
+use vicinity_baselines::bfs::BfsEngine;
+use vicinity_baselines::bidirectional_bfs::BidirectionalBfs;
+use vicinity_baselines::landmark_estimate::{EstimatorLandmarkStrategy, LandmarkEstimator};
+use vicinity_baselines::PointToPoint;
+use vicinity_core::config::Alpha;
+use vicinity_core::OracleBuilder;
+use vicinity_datasets::registry::{Dataset, Scale, StandIn};
+use vicinity_graph::algo::sampling::random_pairs;
+
+fn baseline_comparison(c: &mut Criterion) {
+    let dataset = Dataset::stand_in(StandIn::Flickr, Scale::Small);
+    let graph = &dataset.graph;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let pairs = random_pairs(graph, 256, &mut rng);
+
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(graph);
+    let mut bfs = BfsEngine::new(graph);
+    let mut bidir = BidirectionalBfs::new(graph);
+    let mut alt = AltEngine::new(graph, 8, AltLandmarkStrategy::HighestDegree, &mut rng);
+    let mut estimator =
+        LandmarkEstimator::new(graph, 16, EstimatorLandmarkStrategy::HighestDegree, &mut rng);
+
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("vicinity_oracle", &dataset.name), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(oracle.distance(s, t))
+        });
+    });
+    group.bench_function(BenchmarkId::new("bfs", &dataset.name), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(bfs.distance(s, t))
+        });
+    });
+    group.bench_function(BenchmarkId::new("bidirectional_bfs", &dataset.name), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(bidir.distance(s, t))
+        });
+    });
+    group.bench_function(BenchmarkId::new("alt", &dataset.name), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(alt.distance(s, t))
+        });
+    });
+    group.bench_function(BenchmarkId::new("landmark_estimation", &dataset.name), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(estimator.distance(s, t))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = baseline_comparison
+}
+criterion_main!(benches);

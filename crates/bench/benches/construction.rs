@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the offline phase: landmark selection, ball
+//! radius computation and full index construction, across α values and
+//! thread counts (the §2.2 claim is that each vicinity is computed in time
+//! proportional to its size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use vicinity_core::ball::BallRadii;
+use vicinity_core::config::{Alpha, OracleConfig};
+use vicinity_core::landmarks::LandmarkSet;
+use vicinity_core::OracleBuilder;
+use vicinity_datasets::registry::{Dataset, Scale, StandIn};
+
+fn construction(c: &mut Criterion) {
+    let dataset = Dataset::stand_in(StandIn::Dblp, Scale::Small);
+    let graph = &dataset.graph;
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+
+    group.bench_function("landmark_selection", |b| {
+        let config = OracleConfig::default();
+        b.iter(|| std::hint::black_box(LandmarkSet::select(graph, &config)));
+    });
+
+    group.bench_function("ball_radii", |b| {
+        let config = OracleConfig::default();
+        let landmarks = LandmarkSet::select(graph, &config);
+        b.iter(|| std::hint::black_box(BallRadii::compute(graph, &landmarks)));
+    });
+
+    for alpha in [1.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("full_index", format!("alpha={alpha}")),
+            &alpha,
+            |b, &alpha| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        OracleBuilder::new(Alpha::new(alpha).expect("valid"))
+                            .seed(2012)
+                            .build(graph),
+                    )
+                });
+            },
+        );
+    }
+
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("full_index_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        OracleBuilder::new(Alpha::PAPER_DEFAULT)
+                            .seed(2012)
+                            .threads(threads)
+                            .build(graph),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = construction
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 2 (left) — fraction of vicinity intersections vs α.
+//!
+//! For every dataset and every α in the sweep, builds the oracle and
+//! evaluates the §2.3 workload (sampled nodes, all pairs, repeated runs),
+//! reporting the fraction of pairs answered by the index and the fraction
+//! answered specifically through vicinity intersection.
+
+use vicinity_bench::{print_header, timed, ExperimentEnv};
+use vicinity_core::config::OracleConfig;
+use vicinity_core::stats::{intersection_experiment, ExperimentWorkload};
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    print_header("Figure 2 (left): fraction of vicinity intersections vs alpha", &env);
+
+    let workload =
+        ExperimentWorkload { sample_nodes: env.sample_nodes, runs: env.runs, seed: 2012 };
+    println!(
+        "{:<14} {:>8} {:>10} {:>14} {:>16} {:>12}",
+        "Topology", "alpha", "answered", "via intersect", "avg |vicinity|", "pairs"
+    );
+    for dataset in env.datasets() {
+        let ((), total) = timed(|| {
+            let points = intersection_experiment(
+                &dataset.graph,
+                &env.alphas,
+                &OracleConfig::default(),
+                &workload,
+            );
+            for p in points {
+                println!(
+                    "{:<14} {:>8} {:>9.1}% {:>13.1}% {:>16.1} {:>12}",
+                    dataset.name,
+                    format_alpha(p.alpha),
+                    p.answered_fraction * 100.0,
+                    p.intersection_fraction * 100.0,
+                    p.average_vicinity_size,
+                    p.pairs
+                );
+            }
+        });
+        println!("  ({} sweep completed in {:.1?})\n", dataset.name, total);
+    }
+    println!("paper: for alpha = 4 the real datasets answer >99.9% of queries; the synthetic");
+    println!("stand-ins are ~100x smaller, which shifts the same monotone curve towards");
+    println!("larger alpha (see EXPERIMENTS.md for the discussion).");
+}
+
+fn format_alpha(a: f64) -> String {
+    if a >= 1.0 {
+        format!("{a}")
+    } else {
+        format!("1/{}", (1.0 / a).round() as u64)
+    }
+}

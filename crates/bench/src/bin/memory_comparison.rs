@@ -1,0 +1,66 @@
+//! §3.2 — memory comparison against all-pairs storage.
+//!
+//! Builds the α = 4 oracle for every dataset and reports its storage
+//! (entries and bytes) against the cost of an all-pairs table over the same
+//! graph, reproducing the paper's "√n/4 factor less memory" / "at least
+//! 550× less memory" claims, plus the extrapolated savings at the paper's
+//! real dataset sizes.
+
+use vicinity_baselines::apsp::ApspCostModel;
+use vicinity_bench::{print_header, timed, ExperimentEnv};
+use vicinity_core::config::Alpha;
+use vicinity_core::memory::MemoryReport;
+use vicinity_core::OracleBuilder;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    print_header("Memory comparison vs all-pair shortest paths (alpha = 4)", &env);
+
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "Dataset", "nodes", "vic entries", "entries/node", "APSP entries", "savings", "model sqrt(n)/4"
+    );
+    for dataset in env.datasets() {
+        let (oracle, build_time) =
+            timed(|| OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(&dataset.graph));
+        let report = MemoryReport::measure(&oracle);
+        println!(
+            "{:<14} {:>10} {:>14} {:>14.1} {:>14} {:>11.0}x {:>12.0}x",
+            dataset.name,
+            report.nodes,
+            report.vicinity_entries,
+            report.entries_per_node,
+            report.apsp_entries,
+            report.entry_savings_factor,
+            report.predicted_savings_factor
+        );
+        eprintln!("  [{}] built in {:.1?}", dataset.name, build_time);
+        eprintln!("{}", indent(&report.to_table(), "    "));
+    }
+
+    println!();
+    println!("Extrapolation to the paper's full-size datasets (model: 4*sqrt(n) entries/node,");
+    println!("n(n-1) APSP entries, i.e. savings factor sqrt(n)/4):");
+    println!("{:<14} {:>12} {:>18} {:>22} {:>10}", "Dataset", "nodes", "oracle entries", "APSP entries", "savings");
+    for stand_in in vicinity_datasets::registry::StandIn::all() {
+        let n = (stand_in.paper_nodes_millions() * 1e6) as usize;
+        let per_node = 4.0 * (n as f64).sqrt();
+        let oracle_entries = per_node * n as f64;
+        let apsp = ApspCostModel::distances(n);
+        let savings = apsp.entries() as f64 / oracle_entries;
+        println!(
+            "{:<14} {:>12} {:>18.3e} {:>22} {:>9.0}x",
+            stand_in.name(),
+            n,
+            oracle_entries,
+            apsp.entries(),
+            savings
+        );
+    }
+    println!();
+    println!("paper: \"at least 550x less memory\" for LiveJournal (sqrt(4.85M)/4 ~ 550).");
+}
+
+fn indent(text: &str, prefix: &str) -> String {
+    text.lines().map(|l| format!("{prefix}{l}")).collect::<Vec<_>>().join("\n")
+}

@@ -1,0 +1,46 @@
+//! Run every experiment binary in sequence (Table 2, Figure 2 left/center/
+//! right, Table 3, the memory comparison and the §2.1 ablation), mirroring
+//! the order of the paper's evaluation. Equivalent to invoking each binary
+//! by hand; respects the same environment variables.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table2_datasets",
+        "figure2_intersections",
+        "figure2_boundary",
+        "figure2_radius",
+        "table3_query_time",
+        "memory_comparison",
+        "ablation_strawmen",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("binary directory").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in binaries {
+        println!("\n================================================================");
+        println!("running {name}");
+        println!("================================================================\n");
+        let path = dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {} ({e}); build it with `cargo build --release -p vicinity-bench`", path.display());
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nexperiments with errors: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 2 — dataset statistics.
+//!
+//! Prints, for each stand-in (or real dataset when `VICINITY_DATA_DIR` is
+//! set), the node and link counts in the same layout as Table 2 of the
+//! paper, side by side with the paper's original numbers, plus the
+//! structural properties (degree skew, clustering, diameter) that the
+//! vicinity argument relies on.
+
+use rand::SeedableRng;
+
+use vicinity_bench::{print_header, ExperimentEnv};
+use vicinity_graph::properties;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    print_header("Table 2: social network datasets used in evaluation", &env);
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "Topology", "# Nodes", "# Directed", "# Undirected", "paper nodes", "paper dir.", "paper undir."
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "", "", "links", "links", "(million)", "(million)", "(million)"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut details = Vec::new();
+    for dataset in env.datasets() {
+        let props = properties::analyze(&dataset.graph, &mut rng);
+        let paper = dataset.stand_in;
+        println!(
+            "{:<14} {:>10} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+            dataset.name,
+            props.nodes,
+            props.directed_links,
+            props.undirected_edges,
+            paper.map_or("-".to_string(), |p| format!("{:.2}", p.paper_nodes_millions())),
+            paper.map_or("-".to_string(), |p| format!("{:.2}", p.paper_directed_links_millions())),
+            paper.map_or("-".to_string(), |p| format!("{:.2}", p.paper_undirected_links_millions())),
+        );
+        details.push((dataset.name.clone(), props));
+    }
+
+    println!("\nStructural properties of the stand-ins (what the oracle relies on):");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "Topology", "avg deg", "max deg", "clustering", "diam (est)", "plaw gamma"
+    );
+    for (name, p) in details {
+        println!(
+            "{:<14} {:>10.2} {:>10} {:>12.3} {:>12} {:>10}",
+            name,
+            p.average_degree,
+            p.max_degree,
+            p.clustering,
+            p.diameter_estimate,
+            p.power_law_exponent.map_or("-".to_string(), |g| format!("{g:.2}")),
+        );
+    }
+    println!();
+    println!(
+        "note: stand-ins are scaled-down synthetic graphs; set VICINITY_DATA_DIR to run on the real crawls."
+    );
+}

@@ -1,0 +1,269 @@
+//! The §2.1 strawman vicinity definitions, implemented so the experiment
+//! harness can demonstrate *why* the paper's definition is the right one.
+//!
+//! * [`FixedSizeVicinity`] — "a fixed number of closest nodes" (Figure 1b):
+//!   ties at the cut-off distance are broken arbitrarily, so the
+//!   intersection of two vicinities can meet on a non-shortest path and the
+//!   reported distance is only an upper bound.
+//! * [`FixedRadiusVicinity`] — "all the nodes within some fixed distance"
+//!   (Figure 1c): correct, but nodes in dense regions get enormous
+//!   vicinities, blowing up both memory and per-query work.
+//!
+//! The ablation experiment (`ablation_strawmen` in `vicinity-bench`)
+//! measures the error rate of the first and the size blow-up of the second
+//! against the paper's landmark-derived definition.
+
+use std::collections::HashMap;
+
+use vicinity_graph::algo::bfs::{bfs_until, bounded_bfs};
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId};
+
+/// Strawman 1: the `k` closest nodes (ties broken by BFS visit order).
+#[derive(Debug, Clone)]
+pub struct FixedSizeVicinity {
+    owner: NodeId,
+    distances: HashMap<NodeId, Distance>,
+}
+
+impl FixedSizeVicinity {
+    /// Build the vicinity of `owner` containing its `k` closest nodes
+    /// (including itself).
+    pub fn build(graph: &CsrGraph, owner: NodeId, k: usize) -> Self {
+        let mut count = 0usize;
+        let visited = bfs_until(graph, owner, move |_| {
+            count += 1;
+            count > k
+        });
+        let distances = visited.iter().map(|v| (v.node, v.distance)).collect();
+        FixedSizeVicinity { owner, distances }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// True when empty (only possible for an out-of-range owner).
+    pub fn is_empty(&self) -> bool {
+        self.distances.is_empty()
+    }
+
+    /// Distance to a member.
+    pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
+        self.distances.get(&v).copied()
+    }
+
+    /// Intersect with another fixed-size vicinity, returning the best
+    /// (minimum-sum) estimate of `d(owner, other.owner)` — which, unlike the
+    /// paper's definition, is **not guaranteed to be the exact distance**.
+    pub fn intersect(&self, other: &FixedSizeVicinity) -> Option<Distance> {
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let mut best: Option<Distance> = None;
+        for (&w, &d1) in &small.distances {
+            if let Some(d2) = large.distance_to(w) {
+                let total = d1 + d2;
+                if best.map_or(true, |b| total < b) {
+                    best = Some(total);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Strawman 2: every node within a fixed hop radius.
+#[derive(Debug, Clone)]
+pub struct FixedRadiusVicinity {
+    owner: NodeId,
+    radius: Distance,
+    distances: HashMap<NodeId, Distance>,
+}
+
+impl FixedRadiusVicinity {
+    /// Build the vicinity of `owner` containing all nodes within `radius`
+    /// hops.
+    pub fn build(graph: &CsrGraph, owner: NodeId, radius: Distance) -> Self {
+        let visited = bounded_bfs(graph, owner, radius);
+        let distances = visited.iter().map(|v| (v.node, v.distance)).collect();
+        FixedRadiusVicinity { owner, radius, distances }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The fixed radius used.
+    pub fn radius(&self) -> Distance {
+        self.radius
+    }
+
+    /// Number of members — unbounded by design, which is the problem.
+    pub fn len(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.distances.is_empty()
+    }
+
+    /// Distance to a member.
+    pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
+        self.distances.get(&v).copied()
+    }
+
+    /// Intersect with another fixed-radius vicinity. Because both vicinities
+    /// are full distance-balls, the minimum sum over the intersection *is*
+    /// exact whenever the balls intersect (this matches the correctness part
+    /// of the paper's argument; the problem is the size, not correctness).
+    pub fn intersect(&self, other: &FixedRadiusVicinity) -> Option<Distance> {
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let mut best: Option<Distance> = None;
+        for (&w, &d1) in &small.distances {
+            if let Some(d2) = large.distance_to(w) {
+                let total = d1 + d2;
+                if best.map_or(true, |b| total < b) {
+                    best = Some(total);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vicinity_baselines::bfs::BfsEngine;
+    use vicinity_baselines::PointToPoint;
+    use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+
+    #[test]
+    fn fixed_size_contains_k_closest() {
+        let g = classic::path(10);
+        let v = FixedSizeVicinity::build(&g, 0, 4);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.owner(), 0);
+        assert!(!v.is_empty());
+        assert_eq!(v.distance_to(0), Some(0));
+        assert_eq!(v.distance_to(3), Some(3));
+        assert_eq!(v.distance_to(4), None);
+    }
+
+    #[test]
+    fn fixed_size_intersection_can_overestimate() {
+        // Figure 1(b) style example: the true shortest path between the two
+        // owners runs through a node that tie-breaking excludes from one of
+        // the vicinities, so the intersection meets on a longer path.
+        //
+        // Construct: s - a - t (true distance 2) plus many other neighbours
+        // of s that fill its k-budget before `a` is reached, and a longer
+        // s - b1 - b2 - t path whose nodes make it into both vicinities.
+        let mut builder = GraphBuilder::new();
+        let s = 0;
+        let t = 1;
+        let a = 2;
+        builder.add_edge(s, a);
+        builder.add_edge(a, t);
+        // Filler neighbours of s with smaller ids than `a`? Ids do not matter;
+        // BFS visit order follows adjacency order, which is sorted by id, so
+        // give the fillers smaller ids by adding them as 3.. and relying on k
+        // being small enough that `a` (id 2) *is* included for s but the
+        // joint node of the long path is what t sees. Simpler: verify the
+        // estimate is an upper bound and can exceed the true distance for at
+        // least one crafted pair below.
+        builder.add_edge(s, 3);
+        builder.add_edge(s, 4);
+        builder.add_edge(t, 5);
+        builder.add_edge(t, 6);
+        builder.add_edge(4, 7);
+        builder.add_edge(7, 5);
+        let g = builder.build_undirected();
+        let mut bfs = BfsEngine::new(&g);
+
+        // k = 3: s's vicinity = {s, 2, 3} or {s,2,3,4}-ish prefix; t's = {t, 2?, 5, 6}.
+        let vs = FixedSizeVicinity::build(&g, s, 3);
+        let vt = FixedSizeVicinity::build(&g, t, 3);
+        if let Some(est) = vs.intersect(&vt) {
+            let exact = bfs.distance(s, t).unwrap();
+            assert!(est >= exact, "estimate must still be an upper bound");
+        }
+
+        // Exhaustively check on a social graph that fixed-size estimates are
+        // upper bounds and that at least one pair is strictly overestimated
+        // for small k (demonstrating Figure 1b).
+        let g = SocialGraphConfig::small_test().generate(141);
+        let mut bfs = BfsEngine::new(&g);
+        let mut overestimated = 0;
+        let mut checked = 0;
+        for s in (0..g.node_count() as NodeId).step_by(97) {
+            for t in (1..g.node_count() as NodeId).step_by(89) {
+                if s == t {
+                    continue;
+                }
+                let vs = FixedSizeVicinity::build(&g, s, 20);
+                let vt = FixedSizeVicinity::build(&g, t, 20);
+                if let (Some(est), Some(exact)) = (vs.intersect(&vt), bfs.distance(s, t)) {
+                    checked += 1;
+                    assert!(est >= exact);
+                    if est > exact {
+                        overestimated += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0);
+        assert!(
+            overestimated > 0,
+            "fixed-size vicinities should overestimate at least one of {checked} pairs"
+        );
+    }
+
+    #[test]
+    fn fixed_radius_is_exact_when_intersecting() {
+        let g = SocialGraphConfig::small_test().generate(142);
+        let mut bfs = BfsEngine::new(&g);
+        for (s, t) in [(0u32, 50u32), (3, 200), (10, 400)] {
+            let vs = FixedRadiusVicinity::build(&g, s, 3);
+            let vt = FixedRadiusVicinity::build(&g, t, 3);
+            if let Some(est) = vs.intersect(&vt) {
+                assert_eq!(Some(est), bfs.distance(s, t), "pair ({s},{t})");
+            }
+            assert_eq!(vs.radius(), 3);
+            assert!(!vs.is_empty());
+            assert_eq!(vs.owner(), s);
+        }
+    }
+
+    #[test]
+    fn fixed_radius_blows_up_on_hubs() {
+        // On a star graph, a fixed radius of 2 around any leaf includes the
+        // entire graph; the paper's construction would stop at the hub.
+        let g = classic::star(500);
+        let v = FixedRadiusVicinity::build(&g, 1, 2);
+        assert_eq!(v.len(), 501, "fixed-radius vicinity swallows the whole star");
+        assert_eq!(v.distance_to(0), Some(1));
+        assert_eq!(v.distance_to(499), Some(2));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let g = classic::path(3);
+        let v = FixedSizeVicinity::build(&g, 99, 5);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        let v = FixedRadiusVicinity::build(&g, 99, 2);
+        assert!(v.is_empty());
+        let a = FixedSizeVicinity::build(&g, 0, 1);
+        let b = FixedSizeVicinity::build(&g, 2, 1);
+        assert_eq!(a.intersect(&b), None, "k=1 vicinities of distant nodes do not intersect");
+    }
+}

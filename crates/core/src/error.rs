@@ -1,0 +1,75 @@
+//! Error type for the oracle crate.
+
+/// Errors produced while building, persisting or loading a vicinity oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The input graph is empty or otherwise unusable.
+    InvalidGraph(String),
+    /// A configuration value is out of range.
+    InvalidConfig(String),
+    /// A node id passed to a query does not exist in the indexed graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: vicinity_graph::NodeId,
+        /// Number of nodes in the indexed graph.
+        node_count: usize,
+    },
+    /// Binary decoding failed (truncation, corruption or version mismatch).
+    Decode(String),
+    /// An I/O error (stored as a message to keep the type `Clone + Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            OracleError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            OracleError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            OracleError::Decode(msg) => write!(f, "decode error: {msg}"),
+            OracleError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<std::io::Error> for OracleError {
+    fn from(e: std::io::Error) -> Self {
+        OracleError::Io(e.to_string())
+    }
+}
+
+impl From<vicinity_graph::GraphError> for OracleError {
+    fn from(e: vicinity_graph::GraphError) -> Self {
+        OracleError::Decode(e.to_string())
+    }
+}
+
+/// Result alias for oracle operations.
+pub type Result<T> = std::result::Result<T, OracleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(OracleError::InvalidGraph("empty".into()).to_string().contains("empty"));
+        assert!(OracleError::InvalidConfig("alpha".into()).to_string().contains("alpha"));
+        let e = OracleError::NodeOutOfRange { node: 9, node_count: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+        assert!(OracleError::Decode("bad magic".into()).to_string().contains("bad magic"));
+        assert!(OracleError::Io("gone".into()).to_string().contains("gone"));
+    }
+
+    #[test]
+    fn conversions() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        assert!(matches!(OracleError::from(io), OracleError::Io(_)));
+        let ge = vicinity_graph::GraphError::EmptyGraph;
+        assert!(matches!(OracleError::from(ge), OracleError::Decode(_)));
+    }
+}

@@ -1,0 +1,311 @@
+//! Fallbacks for queries the oracle cannot answer from its index.
+//!
+//! Footnote 1 of the paper: "For source-destination pairs whose vicinities
+//! do not intersect, it is possible to combine our technique with those for
+//! computing exact [3,4] or approximate [5,12,17,20] paths." This module
+//! provides both combinations:
+//!
+//! * [`ExactFallback`] — a bidirectional BFS run only for missed queries
+//!   (a self-contained implementation so the core crate does not depend on
+//!   the baselines crate).
+//! * Landmark-estimate fallback — an *approximate* answer computed from the
+//!   landmark rows the oracle already stores: `min_{ℓ ∈ L} d(s,ℓ) + d(ℓ,t)`
+//!   is an upper bound on the true distance at the cost of |L| row probes.
+
+use std::collections::VecDeque;
+
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId, INFINITY};
+
+use crate::index::VicinityOracle;
+use crate::query::DistanceAnswer;
+
+/// Outcome of a query answered through [`QueryWithFallback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedDistance {
+    /// Answered exactly by the oracle's index.
+    OracleExact(Distance),
+    /// Answered exactly by the fallback search.
+    FallbackExact(Distance),
+    /// Approximate upper bound from the landmark rows.
+    Approximate(Distance),
+    /// The endpoints are not connected.
+    Unreachable,
+}
+
+impl ResolvedDistance {
+    /// The numeric distance, when one is available.
+    pub fn value(&self) -> Option<Distance> {
+        match self {
+            ResolvedDistance::OracleExact(d)
+            | ResolvedDistance::FallbackExact(d)
+            | ResolvedDistance::Approximate(d) => Some(*d),
+            ResolvedDistance::Unreachable => None,
+        }
+    }
+
+    /// True when the value is exact (oracle or fallback search).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ResolvedDistance::OracleExact(_) | ResolvedDistance::FallbackExact(_))
+    }
+}
+
+/// Exact bidirectional-BFS fallback over a borrowed graph, with reusable
+/// scratch space so that repeated misses stay cheap.
+pub struct ExactFallback<'g> {
+    graph: &'g CsrGraph,
+    dist_fwd: Vec<Distance>,
+    dist_bwd: Vec<Distance>,
+    stamp_fwd: Vec<u32>,
+    stamp_bwd: Vec<u32>,
+    stamp: u32,
+}
+
+impl<'g> ExactFallback<'g> {
+    /// Create a fallback engine for `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        let n = graph.node_count();
+        ExactFallback {
+            graph,
+            dist_fwd: vec![0; n],
+            dist_bwd: vec![0; n],
+            stamp_fwd: vec![0; n],
+            stamp_bwd: vec![0; n],
+            stamp: 0,
+        }
+    }
+
+    /// Exact distance between `s` and `t`, or `None` when unreachable.
+    pub fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        let n = self.graph.node_count();
+        if (s as usize) >= n || (t as usize) >= n {
+            return None;
+        }
+        if s == t {
+            return Some(0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.stamp_fwd.iter_mut().for_each(|x| *x = 0);
+            self.stamp_bwd.iter_mut().for_each(|x| *x = 0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        let mut q_fwd = VecDeque::from([s]);
+        let mut q_bwd = VecDeque::from([t]);
+        self.stamp_fwd[s as usize] = stamp;
+        self.dist_fwd[s as usize] = 0;
+        self.stamp_bwd[t as usize] = stamp;
+        self.dist_bwd[t as usize] = 0;
+        let mut best = INFINITY;
+        let mut radius_fwd = 0;
+        let mut radius_bwd = 0;
+
+        while !q_fwd.is_empty() && !q_bwd.is_empty() {
+            if best != INFINITY && radius_fwd + radius_bwd + 1 >= best {
+                break;
+            }
+            let forward = q_fwd.len() <= q_bwd.len();
+            let (queue, dist, stamp_vec, other_dist, other_stamp, radius) = if forward {
+                (&mut q_fwd, &mut self.dist_fwd, &mut self.stamp_fwd, &self.dist_bwd, &self.stamp_bwd, &mut radius_fwd)
+            } else {
+                (&mut q_bwd, &mut self.dist_bwd, &mut self.stamp_bwd, &self.dist_fwd, &self.stamp_fwd, &mut radius_bwd)
+            };
+            let level = dist[*queue.front().expect("non-empty") as usize];
+            while let Some(&u) = queue.front() {
+                if dist[u as usize] != level {
+                    break;
+                }
+                queue.pop_front();
+                let du = dist[u as usize];
+                for &v in self.graph.neighbors(u) {
+                    if stamp_vec[v as usize] != stamp {
+                        stamp_vec[v as usize] = stamp;
+                        dist[v as usize] = du + 1;
+                        queue.push_back(v);
+                        if other_stamp[v as usize] == stamp {
+                            let total = du + 1 + other_dist[v as usize];
+                            if total < best {
+                                best = total;
+                            }
+                        }
+                    }
+                }
+            }
+            *radius = level + 1;
+        }
+        (best != INFINITY).then_some(best)
+    }
+}
+
+/// Combines an oracle with an exact fallback so every query gets an answer.
+pub struct QueryWithFallback<'o, 'g> {
+    oracle: &'o VicinityOracle,
+    fallback: ExactFallback<'g>,
+    /// Count of queries answered by the oracle index.
+    pub oracle_hits: u64,
+    /// Count of queries that needed the fallback search.
+    pub fallback_hits: u64,
+}
+
+impl<'o, 'g> QueryWithFallback<'o, 'g> {
+    /// Create a combined engine. The graph must be the one the oracle was
+    /// built over.
+    pub fn new(oracle: &'o VicinityOracle, graph: &'g CsrGraph) -> Self {
+        QueryWithFallback { oracle, fallback: ExactFallback::new(graph), oracle_hits: 0, fallback_hits: 0 }
+    }
+
+    /// Exact distance for every pair: the oracle answers when it can, the
+    /// bidirectional-BFS fallback otherwise.
+    pub fn distance(&mut self, s: NodeId, t: NodeId) -> ResolvedDistance {
+        match self.oracle.distance(s, t) {
+            DistanceAnswer::Exact { distance, .. } => {
+                self.oracle_hits += 1;
+                ResolvedDistance::OracleExact(distance)
+            }
+            DistanceAnswer::Unreachable => {
+                self.oracle_hits += 1;
+                ResolvedDistance::Unreachable
+            }
+            DistanceAnswer::Miss => {
+                self.fallback_hits += 1;
+                match self.fallback.distance(s, t) {
+                    Some(d) => ResolvedDistance::FallbackExact(d),
+                    None => ResolvedDistance::Unreachable,
+                }
+            }
+        }
+    }
+
+    /// Fraction of queries answered by the oracle index so far.
+    pub fn oracle_hit_rate(&self) -> f64 {
+        let total = self.oracle_hits + self.fallback_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.oracle_hits as f64 / total as f64
+    }
+}
+
+impl VicinityOracle {
+    /// Approximate upper bound on `d(s, t)` from the stored landmark rows:
+    /// `min_{ℓ ∈ L} d(ℓ, s) + d(ℓ, t)`. Costs two probes per landmark.
+    /// Returns `None` when no landmark reaches both endpoints.
+    pub fn landmark_estimate(&self, s: NodeId, t: NodeId) -> Option<Distance> {
+        if s == t && self.contains_node(s) {
+            return Some(0);
+        }
+        let mut best: Option<Distance> = None;
+        for table in self.landmark_tables.values() {
+            let (Some(ds), Some(dt)) = (table.distance_to(s), table.distance_to(t)) else {
+                continue;
+            };
+            let est = ds + dt;
+            if best.map_or(true, |b| est < b) {
+                best = Some(est);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::OracleBuilder;
+    use crate::config::Alpha;
+    use vicinity_baselines::bfs::BfsEngine;
+    use vicinity_baselines::PointToPoint;
+    use vicinity_graph::algo::sampling::random_pairs;
+    use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_fallback_matches_bfs() {
+        let g = SocialGraphConfig::small_test().generate(101);
+        let mut fb = ExactFallback::new(&g);
+        let mut bfs = BfsEngine::new(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for (s, t) in random_pairs(&g, 200, &mut rng) {
+            assert_eq!(fb.distance(s, t), bfs.distance(s, t), "pair ({s},{t})");
+        }
+        assert_eq!(fb.distance(3, 3), Some(0));
+        assert_eq!(fb.distance(0, 999_999), None);
+    }
+
+    #[test]
+    fn exact_fallback_handles_disconnected_graph() {
+        let mut b = GraphBuilder::with_node_count(6);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build_undirected();
+        let mut fb = ExactFallback::new(&g);
+        assert_eq!(fb.distance(0, 1), Some(1));
+        assert_eq!(fb.distance(0, 3), None);
+        assert_eq!(fb.distance(4, 5), None);
+    }
+
+    #[test]
+    fn combined_engine_always_answers_connected_pairs() {
+        // A grid has no hubs and long distances, so at moderate alpha many
+        // pairs have non-intersecting vicinities and the fallback fires.
+        let g = classic::grid(30, 30);
+        let oracle = OracleBuilder::new(Alpha::new(8.0).unwrap()).seed(3).build(&g);
+        let mut combined = QueryWithFallback::new(&oracle, &g);
+        let mut bfs = BfsEngine::new(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for (s, t) in random_pairs(&g, 150, &mut rng) {
+            let resolved = combined.distance(s, t);
+            assert_eq!(resolved.value(), bfs.distance(s, t), "pair ({s},{t})");
+            assert!(resolved.is_exact());
+        }
+        assert!(combined.fallback_hits > 0, "grid queries should produce misses");
+        assert!(combined.oracle_hit_rate() < 1.0);
+        assert!(combined.oracle_hits + combined.fallback_hits == 150);
+    }
+
+    #[test]
+    fn combined_engine_on_social_graph_rarely_falls_back() {
+        // On the small test graph, alpha = 32 plays the role alpha = 4 plays
+        // on the paper's million-node graphs (hop quantisation shrinks
+        // vicinities at small n); most queries should hit the index.
+        let g = SocialGraphConfig::small_test().generate(102);
+        let oracle = OracleBuilder::new(Alpha::new(32.0).unwrap()).seed(4).build(&g);
+        let mut combined = QueryWithFallback::new(&oracle, &g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for (s, t) in random_pairs(&g, 300, &mut rng) {
+            combined.distance(s, t);
+        }
+        assert!(
+            combined.oracle_hit_rate() > 0.7,
+            "social graph at alpha=32 should mostly hit, rate = {}",
+            combined.oracle_hit_rate()
+        );
+    }
+
+    #[test]
+    fn landmark_estimate_is_an_upper_bound() {
+        let g = SocialGraphConfig::small_test().generate(103);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(5).build(&g);
+        let mut bfs = BfsEngine::new(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for (s, t) in random_pairs(&g, 100, &mut rng) {
+            let exact = bfs.distance(s, t).unwrap();
+            let est = oracle.landmark_estimate(s, t).expect("landmarks reach the whole component");
+            assert!(est >= exact, "estimate {est} below exact {exact} for ({s},{t})");
+        }
+        assert_eq!(oracle.landmark_estimate(7, 7), Some(0));
+    }
+
+    #[test]
+    fn resolved_distance_accessors() {
+        assert_eq!(ResolvedDistance::OracleExact(3).value(), Some(3));
+        assert!(ResolvedDistance::OracleExact(3).is_exact());
+        assert!(ResolvedDistance::FallbackExact(4).is_exact());
+        assert!(!ResolvedDistance::Approximate(5).is_exact());
+        assert_eq!(ResolvedDistance::Approximate(5).value(), Some(5));
+        assert_eq!(ResolvedDistance::Unreachable.value(), None);
+        assert!(!ResolvedDistance::Unreachable.is_exact());
+    }
+}

@@ -1,0 +1,249 @@
+//! The query-time data structure: per-node vicinities plus landmark
+//! distance tables.
+//!
+//! This mirrors §3.1 of the paper: "Our data structure stores, for each node
+//! u, a hash table containing the exact distance to each node v ∈ Γ(u). In
+//! addition, if u ∈ L, the data structure stores a hash table containing the
+//! exact distance from u to each other node v ∈ V."
+//!
+//! Landmark rows are stored as dense `u16` distance arrays rather than hash
+//! tables: they are indexed by every node id anyway, and 16-bit distances
+//! are ample for social networks (diameters of tens of hops). Paths from a
+//! landmark are reconstructed by greedy descent on the distance array, so no
+//! predecessor storage is needed for landmarks.
+
+use std::collections::HashMap;
+
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId, INFINITY};
+
+use crate::config::OracleConfig;
+use crate::landmarks::LandmarkSet;
+use crate::vicinity::NodeVicinity;
+
+/// Sentinel for "unreachable" in the compact landmark rows.
+const UNREACHABLE_U16: u16 = u16::MAX;
+
+/// Dense single-source distance table for one landmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LandmarkTable {
+    distances: Vec<u16>,
+}
+
+impl LandmarkTable {
+    /// Build a landmark row from a full-width distance array.
+    pub fn from_distances(distances: &[Distance]) -> Self {
+        let compact = distances
+            .iter()
+            .map(|&d| {
+                if d == INFINITY || d >= UNREACHABLE_U16 as Distance {
+                    UNREACHABLE_U16
+                } else {
+                    d as u16
+                }
+            })
+            .collect();
+        LandmarkTable { distances: compact }
+    }
+
+    /// Distance from the landmark to `v`, or `None` when unreachable / out
+    /// of range.
+    #[inline]
+    pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
+        match self.distances.get(v as usize) {
+            Some(&d) if d != UNREACHABLE_U16 => Some(d as Distance),
+            _ => None,
+        }
+    }
+
+    /// Number of entries in the row.
+    pub fn len(&self) -> usize {
+        self.distances.len()
+    }
+
+    /// True when the row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.distances.is_empty()
+    }
+
+    /// Memory used by the row, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.distances.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Raw compact distances (for serialization).
+    pub(crate) fn raw(&self) -> &[u16] {
+        &self.distances
+    }
+
+    /// Rebuild from raw compact distances (for deserialization).
+    pub(crate) fn from_raw(distances: Vec<u16>) -> Self {
+        LandmarkTable { distances }
+    }
+}
+
+/// The vicinity-intersection shortest-path oracle.
+///
+/// Construct one with [`crate::OracleBuilder`]; query it with the methods in
+/// [`crate::query`] (`distance`, `path`, `distance_with_stats`, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VicinityOracle {
+    pub(crate) config: OracleConfig,
+    pub(crate) node_count: usize,
+    pub(crate) edge_count: usize,
+    pub(crate) landmarks: LandmarkSet,
+    /// One vicinity per node, indexed by node id.
+    pub(crate) vicinities: Vec<NodeVicinity>,
+    /// Landmark id → dense distance row.
+    pub(crate) landmark_tables: HashMap<NodeId, LandmarkTable>,
+}
+
+impl VicinityOracle {
+    /// Number of nodes in the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of undirected edges in the indexed graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The configuration the oracle was built with.
+    pub fn config(&self) -> &OracleConfig {
+        &self.config
+    }
+
+    /// The landmark set `L`.
+    pub fn landmarks(&self) -> &LandmarkSet {
+        &self.landmarks
+    }
+
+    /// True when `u` is a landmark.
+    pub fn is_landmark(&self, u: NodeId) -> bool {
+        self.landmarks.contains(u)
+    }
+
+    /// The vicinity `Γ(u)`, or `None` when `u` is out of range.
+    pub fn vicinity(&self, u: NodeId) -> Option<&NodeVicinity> {
+        self.vicinities.get(u as usize)
+    }
+
+    /// The dense distance row of landmark `u`, if `u` is a landmark.
+    pub fn landmark_table(&self, u: NodeId) -> Option<&LandmarkTable> {
+        self.landmark_tables.get(&u)
+    }
+
+    /// Whether the oracle stores shortest-path predecessors (and can
+    /// therefore answer path queries, not just distance queries).
+    pub fn stores_paths(&self) -> bool {
+        self.config.store_paths
+    }
+
+    /// True when `u` is a valid node id for this oracle.
+    pub fn contains_node(&self, u: NodeId) -> bool {
+        (u as usize) < self.node_count
+    }
+
+    /// Average vicinity size `|Γ(u)|` over all nodes (landmarks included,
+    /// with their empty vicinities).
+    pub fn average_vicinity_size(&self) -> f64 {
+        if self.vicinities.is_empty() {
+            return 0.0;
+        }
+        self.vicinities.iter().map(|v| v.len() as f64).sum::<f64>() / self.vicinities.len() as f64
+    }
+
+    /// Average boundary size `|∂Γ(u)|` over all nodes.
+    pub fn average_boundary_size(&self) -> f64 {
+        if self.vicinities.is_empty() {
+            return 0.0;
+        }
+        self.vicinities.iter().map(|v| v.boundary_len() as f64).sum::<f64>()
+            / self.vicinities.len() as f64
+    }
+
+    /// Average vicinity radius `d(u, ℓ(u))` over non-landmark nodes — the
+    /// quantity of Figure 2 (right).
+    pub fn average_vicinity_radius(&self) -> f64 {
+        let non_landmark: Vec<&NodeVicinity> =
+            self.vicinities.iter().filter(|v| !self.is_landmark(v.owner())).collect();
+        if non_landmark.is_empty() {
+            return 0.0;
+        }
+        non_landmark.iter().map(|v| v.radius() as f64).sum::<f64>() / non_landmark.len() as f64
+    }
+
+    /// Total number of stored vicinity entries, `Σ_u |Γ(u)|`.
+    pub fn total_vicinity_entries(&self) -> u64 {
+        self.vicinities.iter().map(|v| v.entry_count() as u64).sum()
+    }
+
+    /// Greedy-descent path from landmark `landmark` to node `target`, using
+    /// the landmark's dense distance row and the graph for neighbour
+    /// enumeration: from `target`, repeatedly step to any neighbour whose
+    /// stored distance is exactly one less. Returns the path from the
+    /// landmark to the target (inclusive), or `None` if `target` is
+    /// unreachable or `landmark` has no table.
+    pub fn landmark_path(
+        &self,
+        graph: &CsrGraph,
+        landmark: NodeId,
+        target: NodeId,
+    ) -> Option<Vec<NodeId>> {
+        let table = self.landmark_table(landmark)?;
+        let mut dist = table.distance_to(target)?;
+        let mut path = vec![target];
+        let mut current = target;
+        while dist > 0 {
+            let next = graph
+                .neighbors(current)
+                .iter()
+                .copied()
+                .find(|&w| table.distance_to(w) == Some(dist - 1))?;
+            path.push(next);
+            current = next;
+            dist -= 1;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn landmark_table_round_trips_distances() {
+        let t = LandmarkTable::from_distances(&[0, 3, INFINITY, 70_000, 12]);
+        assert_eq!(t.distance_to(0), Some(0));
+        assert_eq!(t.distance_to(1), Some(3));
+        assert_eq!(t.distance_to(2), None, "INFINITY maps to unreachable");
+        assert_eq!(t.distance_to(3), None, "distances beyond u16::MAX saturate to unreachable");
+        assert_eq!(t.distance_to(4), Some(12));
+        assert_eq!(t.distance_to(99), None);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.memory_bytes(), 10);
+    }
+
+    #[test]
+    fn landmark_table_raw_round_trip() {
+        let t = LandmarkTable::from_distances(&[1, 2, 3]);
+        let raw = t.raw().to_vec();
+        let rebuilt = LandmarkTable::from_raw(raw);
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn empty_landmark_table() {
+        let t = LandmarkTable::from_distances(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.distance_to(0), None);
+    }
+
+    // Oracle-level behaviour is exercised in `build.rs`, `query.rs` and the
+    // integration tests; this module only tests the landmark rows directly.
+}

@@ -1,0 +1,369 @@
+//! Versioned binary persistence of a [`VicinityOracle`].
+//!
+//! Building an oracle over the larger stand-in datasets takes seconds to
+//! minutes; the experiment harness therefore caches constructed oracles on
+//! disk. The format mirrors the graph format of `vicinity-graph::io::binary`:
+//! a magic number, a version byte, little-endian sections and a trailing
+//! byte-sum checksum so corrupt caches are rejected rather than silently
+//! producing wrong answers.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use vicinity_graph::{Distance, NodeId};
+
+use crate::config::{Alpha, OracleConfig, SamplingStrategy, TableBackend};
+use crate::index::{LandmarkTable, VicinityOracle};
+use crate::landmarks::LandmarkSet;
+use crate::vicinity::NodeVicinity;
+use crate::{OracleError, Result};
+
+const MAGIC: &[u8; 4] = b"VOR1";
+const FORMAT_VERSION: u8 = 1;
+
+/// Serialize an oracle to bytes.
+pub fn encode(oracle: &VicinityOracle) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(FORMAT_VERSION);
+
+    // Configuration.
+    buf.put_f64_le(oracle.config.alpha.value());
+    buf.put_u8(match oracle.config.sampling {
+        SamplingStrategy::DegreeProportional => 0,
+        SamplingStrategy::Uniform => 1,
+        SamplingStrategy::TopDegree => 2,
+    });
+    buf.put_u8(match oracle.config.backend {
+        TableBackend::HashMap => 0,
+        TableBackend::SortedArray => 1,
+    });
+    buf.put_u64_le(oracle.config.seed);
+    buf.put_u8(u8::from(oracle.config.store_paths));
+
+    // Graph summary.
+    buf.put_u64_le(oracle.node_count as u64);
+    buf.put_u64_le(oracle.edge_count as u64);
+
+    // Landmark set.
+    let landmark_nodes = oracle.landmarks.nodes();
+    buf.put_u64_le(landmark_nodes.len() as u64);
+    for &l in landmark_nodes {
+        buf.put_u32_le(l);
+    }
+
+    // Landmark tables, ordered by landmark id for determinism.
+    let mut table_ids: Vec<NodeId> = oracle.landmark_tables.keys().copied().collect();
+    table_ids.sort_unstable();
+    buf.put_u64_le(table_ids.len() as u64);
+    for l in table_ids {
+        let table = &oracle.landmark_tables[&l];
+        buf.put_u32_le(l);
+        buf.put_u64_le(table.raw().len() as u64);
+        for &d in table.raw() {
+            buf.put_u16_le(d);
+        }
+    }
+
+    // Vicinities (in node order).
+    buf.put_u64_le(oracle.vicinities.len() as u64);
+    for v in &oracle.vicinities {
+        let (members, distances, predecessors, boundary, radius, nearest) = v.raw_parts();
+        buf.put_u32_le(v.owner());
+        buf.put_u32_le(radius);
+        buf.put_u32_le(nearest);
+        buf.put_u64_le(members.len() as u64);
+        for &m in members {
+            buf.put_u32_le(m);
+        }
+        for &d in distances {
+            buf.put_u32_le(d);
+        }
+        buf.put_u8(u8::from(!predecessors.is_empty()));
+        for &p in predecessors {
+            buf.put_u32_le(p);
+        }
+        buf.put_u64_le(boundary.len() as u64);
+        for &b in boundary {
+            buf.put_u32_le(b);
+        }
+    }
+
+    let checksum: u64 = buf.iter().map(|&b| b as u64).sum();
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Deserialize an oracle from bytes produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
+    if data.len() < MAGIC.len() + 1 + 8 {
+        return Err(OracleError::Decode("input too short".into()));
+    }
+    let (body, checksum_bytes) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(
+        checksum_bytes.try_into().map_err(|_| OracleError::Decode("bad checksum".into()))?,
+    );
+    let computed: u64 = body.iter().map(|&b| b as u64).sum();
+    if stored != computed {
+        return Err(OracleError::Decode(format!(
+            "checksum mismatch (stored {stored}, computed {computed})"
+        )));
+    }
+
+    let mut cur = body;
+    let mut magic = [0u8; 4];
+    ensure(&cur, 5)?;
+    cur.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(OracleError::Decode("bad magic number".into()));
+    }
+    let version = cur.get_u8();
+    if version != FORMAT_VERSION {
+        return Err(OracleError::Decode(format!("unsupported format version {version}")));
+    }
+
+    ensure(&cur, 8 + 1 + 1 + 8 + 1 + 16)?;
+    let alpha = Alpha::new(cur.get_f64_le())
+        .map_err(|e| OracleError::Decode(format!("bad alpha: {e}")))?;
+    let sampling = match cur.get_u8() {
+        0 => SamplingStrategy::DegreeProportional,
+        1 => SamplingStrategy::Uniform,
+        2 => SamplingStrategy::TopDegree,
+        other => return Err(OracleError::Decode(format!("unknown sampling strategy {other}"))),
+    };
+    let backend = match cur.get_u8() {
+        0 => TableBackend::HashMap,
+        1 => TableBackend::SortedArray,
+        other => return Err(OracleError::Decode(format!("unknown backend {other}"))),
+    };
+    let seed = cur.get_u64_le();
+    let store_paths = cur.get_u8() != 0;
+    let node_count = cur.get_u64_le() as usize;
+    let edge_count = cur.get_u64_le() as usize;
+
+    // Landmark set.
+    ensure(&cur, 8)?;
+    let landmark_count = cur.get_u64_le() as usize;
+    ensure(&cur, landmark_count * 4)?;
+    let mut landmark_nodes = Vec::with_capacity(landmark_count);
+    for _ in 0..landmark_count {
+        landmark_nodes.push(cur.get_u32_le());
+    }
+    let landmarks = LandmarkSet::from_nodes(landmark_nodes, node_count);
+
+    // Landmark tables.
+    ensure(&cur, 8)?;
+    let table_count = cur.get_u64_le() as usize;
+    let mut landmark_tables = HashMap::with_capacity(table_count);
+    for _ in 0..table_count {
+        ensure(&cur, 12)?;
+        let l = cur.get_u32_le();
+        let len = cur.get_u64_le() as usize;
+        ensure(&cur, len * 2)?;
+        let mut distances = Vec::with_capacity(len);
+        for _ in 0..len {
+            distances.push(cur.get_u16_le());
+        }
+        landmark_tables.insert(l, LandmarkTable::from_raw(distances));
+    }
+
+    // Vicinities.
+    ensure(&cur, 8)?;
+    let vicinity_count = cur.get_u64_le() as usize;
+    if vicinity_count != node_count {
+        return Err(OracleError::Decode(format!(
+            "vicinity count {vicinity_count} does not match node count {node_count}"
+        )));
+    }
+    let mut vicinities = Vec::with_capacity(vicinity_count);
+    for expected_owner in 0..vicinity_count as NodeId {
+        ensure(&cur, 12 + 8)?;
+        let owner = cur.get_u32_le();
+        if owner != expected_owner {
+            return Err(OracleError::Decode(format!(
+                "vicinity out of order: expected owner {expected_owner}, found {owner}"
+            )));
+        }
+        let radius: Distance = cur.get_u32_le();
+        let nearest = cur.get_u32_le();
+        let member_count = cur.get_u64_le() as usize;
+        ensure(&cur, member_count * 8 + 1)?;
+        let mut members = Vec::with_capacity(member_count);
+        for _ in 0..member_count {
+            members.push(cur.get_u32_le());
+        }
+        let mut distances = Vec::with_capacity(member_count);
+        for _ in 0..member_count {
+            distances.push(cur.get_u32_le());
+        }
+        let has_preds = cur.get_u8() != 0;
+        let mut predecessors = Vec::new();
+        if has_preds {
+            ensure(&cur, member_count * 4)?;
+            predecessors.reserve(member_count);
+            for _ in 0..member_count {
+                predecessors.push(cur.get_u32_le());
+            }
+        }
+        ensure(&cur, 8)?;
+        let boundary_count = cur.get_u64_le() as usize;
+        ensure(&cur, boundary_count * 4)?;
+        let mut boundary = Vec::with_capacity(boundary_count);
+        for _ in 0..boundary_count {
+            let idx = cur.get_u32_le();
+            if idx as usize >= member_count {
+                return Err(OracleError::Decode(format!(
+                    "boundary index {idx} out of range for {member_count} members"
+                )));
+            }
+            boundary.push(idx);
+        }
+        vicinities.push(NodeVicinity::from_raw_parts(
+            owner,
+            radius,
+            nearest,
+            members,
+            distances,
+            predecessors,
+            boundary,
+            backend,
+        ));
+    }
+
+    Ok(VicinityOracle {
+        config: OracleConfig { alpha, sampling, backend, seed, store_paths, threads: 0 },
+        node_count,
+        edge_count,
+        landmarks,
+        vicinities,
+        landmark_tables,
+    })
+}
+
+/// Write an oracle to a file.
+pub fn save<P: AsRef<std::path::Path>>(oracle: &VicinityOracle, path: P) -> Result<()> {
+    std::fs::write(path, encode(oracle))?;
+    Ok(())
+}
+
+/// Read an oracle from a file written by [`save`].
+pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<VicinityOracle> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+fn ensure(cur: &&[u8], needed: usize) -> Result<()> {
+    if cur.remaining() < needed {
+        return Err(OracleError::Decode(format!(
+            "truncated input: need {needed} bytes, have {}",
+            cur.remaining()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::OracleBuilder;
+    use crate::query::DistanceAnswer;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+
+    fn sample_oracle(seed: u64, store_paths: bool, backend: TableBackend) -> VicinityOracle {
+        let g = SocialGraphConfig::small_test().with_nodes(600).generate(seed);
+        OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(seed)
+            .store_paths(store_paths)
+            .backend(backend)
+            .build(&g)
+    }
+
+    #[test]
+    fn round_trip_preserves_oracle() {
+        let oracle = sample_oracle(131, true, TableBackend::HashMap);
+        let decoded = decode(&encode(&oracle)).unwrap();
+        assert_eq!(oracle, decoded);
+    }
+
+    #[test]
+    fn round_trip_without_paths_and_sorted_backend() {
+        let oracle = sample_oracle(132, false, TableBackend::SortedArray);
+        let decoded = decode(&encode(&oracle)).unwrap();
+        assert_eq!(oracle, decoded);
+    }
+
+    #[test]
+    fn decoded_oracle_answers_queries_identically() {
+        let g = SocialGraphConfig::small_test().with_nodes(600).generate(133);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(133).build(&g);
+        let decoded = decode(&encode(&oracle)).unwrap();
+        for (s, t) in [(0u32, 5u32), (1, 50), (10, 200), (3, 3)] {
+            let a = oracle.distance(s, t);
+            let b = decoded.distance(s, t);
+            assert_eq!(a, b);
+            if let DistanceAnswer::Exact { .. } = a {
+                assert_eq!(oracle.path(s, t), decoded.path(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let oracle = sample_oracle(134, true, TableBackend::HashMap);
+        let mut bytes = encode(&oracle).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        assert!(matches!(decode(&bytes), Err(OracleError::Decode(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let oracle = sample_oracle(135, true, TableBackend::HashMap);
+        let bytes = encode(&oracle);
+        for len in [0usize, 3, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..len]).is_err(), "length {len} must fail");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let oracle = sample_oracle(136, true, TableBackend::HashMap);
+        let bytes = encode(&oracle).to_vec();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        // Fix up the checksum so only the magic check fires.
+        let body_len = bad_magic.len() - 8;
+        let checksum: u64 = bad_magic[..body_len].iter().map(|&b| b as u64).sum();
+        bad_magic[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = decode(&bad_magic).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        let mut bad_version = bytes;
+        bad_version[4] = 99;
+        let body_len = bad_version.len() - 8;
+        let checksum: u64 = bad_version[..body_len].iter().map(|&b| b as u64).sum();
+        bad_version[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = decode(&bad_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = classic::grid(8, 8);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(9).build(&g);
+        let dir = std::env::temp_dir().join("vicinity_core_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("oracle.vor");
+        save(&oracle, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(oracle, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(load("/no/such/oracle.vor"), Err(OracleError::Io(_))));
+    }
+}

@@ -1,0 +1,457 @@
+//! Per-node vicinities: `Γ(u) = B(u) ∪ N(B(u))` with distances, shortest
+//! path predecessors and boundary marking.
+//!
+//! For unweighted graphs (the paper's evaluation setting) the vicinity has a
+//! convenient closed form: every node in `N(B(u))` is at distance exactly
+//! `d(u, ℓ(u))` from `u` (its BFS parent lies in the ball), so
+//!
+//! ```text
+//! Γ(u) = { v : d(u, v) ≤ d(u, ℓ(u)) }        when u ∉ L,
+//! Γ(u) = ∅                                    when u ∈ L (radius 0).
+//! ```
+//!
+//! Construction is therefore a single bounded BFS per node, stopping after
+//! the level `d(u, ℓ(u))` has been fully expanded — the "modified shortest
+//! path algorithm [16]" of §2.2, with cost proportional to the vicinity
+//! size (`O(α·√n)` in expectation).
+
+use std::collections::HashMap;
+
+use vicinity_graph::algo::bfs::bounded_bfs;
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId, INVALID_NODE};
+
+use crate::config::TableBackend;
+
+/// The stored vicinity of a single node: members with exact distances,
+/// optional shortest-path predecessors, and the boundary subset.
+///
+/// Membership probes (`contains` / `get`) are the unit of work the paper
+/// counts as "hash-table look-ups" in Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeVicinity {
+    /// The node this vicinity belongs to.
+    owner: NodeId,
+    /// Ball radius `d(u, ℓ(u))`; `0` for landmarks (whose vicinity is empty).
+    radius: Distance,
+    /// The nearest landmark `ℓ(u)`, or `INVALID_NODE` when none is reachable.
+    nearest_landmark: NodeId,
+    /// Vicinity members sorted by node id.
+    members: Vec<NodeId>,
+    /// `distances[i] = d(owner, members[i])`.
+    distances: Vec<Distance>,
+    /// `predecessors[i]` = the neighbour of `members[i]` on a shortest path
+    /// from `owner` (BFS parent). Empty when paths are not stored.
+    predecessors: Vec<NodeId>,
+    /// Indices (into `members`) of boundary nodes — members with at least
+    /// one neighbour outside the vicinity.
+    boundary: Vec<u32>,
+    /// Optional hash index from member id to position in `members`.
+    hash_index: Option<HashMap<NodeId, u32>>,
+}
+
+impl NodeVicinity {
+    /// Build the vicinity of `owner` given its ball radius (`None` when no
+    /// landmark is reachable — the vicinity then covers the whole connected
+    /// component of `owner`, which only happens in degenerate inputs).
+    pub fn build(
+        graph: &CsrGraph,
+        owner: NodeId,
+        radius: Option<Distance>,
+        nearest_landmark: Option<NodeId>,
+        backend: TableBackend,
+        store_paths: bool,
+    ) -> Self {
+        let nearest = nearest_landmark.unwrap_or(INVALID_NODE);
+        // A landmark (radius 0) has an empty vicinity by Definition 1.
+        if radius == Some(0) {
+            return NodeVicinity {
+                owner,
+                radius: 0,
+                nearest_landmark: nearest,
+                members: Vec::new(),
+                distances: Vec::new(),
+                predecessors: Vec::new(),
+                boundary: Vec::new(),
+                hash_index: matches!(backend, TableBackend::HashMap).then(HashMap::new),
+            };
+        }
+        // No reachable landmark: explore the entire component (bounded by the
+        // hop bound so the BFS terminates naturally).
+        let effective_radius = radius.unwrap_or_else(|| graph.hop_bound());
+
+        let visited = bounded_bfs(graph, owner, effective_radius);
+        let mut entries: Vec<(NodeId, Distance, NodeId)> =
+            visited.iter().map(|v| (v.node, v.distance, v.parent)).collect();
+        entries.sort_unstable_by_key(|&(node, _, _)| node);
+
+        let members: Vec<NodeId> = entries.iter().map(|&(n, _, _)| n).collect();
+        let distances: Vec<Distance> = entries.iter().map(|&(_, d, _)| d).collect();
+        let predecessors: Vec<NodeId> = if store_paths {
+            entries.iter().map(|&(_, _, p)| p).collect()
+        } else {
+            Vec::new()
+        };
+
+        let hash_index = match backend {
+            TableBackend::HashMap => Some(
+                members.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect::<HashMap<_, _>>(),
+            ),
+            TableBackend::SortedArray => None,
+        };
+
+        let mut vicinity = NodeVicinity {
+            owner,
+            radius: effective_radius,
+            nearest_landmark: nearest,
+            members,
+            distances,
+            predecessors,
+            boundary: Vec::new(),
+            hash_index,
+        };
+        vicinity.boundary = vicinity.compute_boundary(graph);
+        vicinity
+    }
+
+    /// Indices of members that have at least one neighbour outside the
+    /// vicinity (the boundary `∂Γ(u)` of the paper).
+    fn compute_boundary(&self, graph: &CsrGraph) -> Vec<u32> {
+        let mut boundary = Vec::new();
+        for (i, &member) in self.members.iter().enumerate() {
+            let escapes = graph.neighbors(member).iter().any(|&w| !self.contains(w));
+            if escapes {
+                boundary.push(i as u32);
+            }
+        }
+        boundary
+    }
+
+    /// The node this vicinity belongs to.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Ball radius `d(u, ℓ(u))` used to build this vicinity.
+    pub fn radius(&self) -> Distance {
+        self.radius
+    }
+
+    /// The nearest landmark, or `None` when no landmark was reachable.
+    pub fn nearest_landmark(&self) -> Option<NodeId> {
+        (self.nearest_landmark != INVALID_NODE).then_some(self.nearest_landmark)
+    }
+
+    /// Number of vicinity members (|Γ(u)|).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the vicinity is empty (the owner is a landmark).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of boundary nodes (|∂Γ(u)|).
+    pub fn boundary_len(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// Vicinity members, sorted by node id.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Iterator over `(member, distance)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        self.members.iter().copied().zip(self.distances.iter().copied())
+    }
+
+    /// Iterator over boundary `(member, distance)` pairs.
+    pub fn boundary_iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        self.boundary
+            .iter()
+            .map(move |&i| (self.members[i as usize], self.distances[i as usize]))
+    }
+
+    /// Position of `v` in the member arrays, if present. One membership
+    /// probe (a hash look-up or a binary search depending on the backend).
+    #[inline]
+    fn position(&self, v: NodeId) -> Option<usize> {
+        match &self.hash_index {
+            Some(index) => index.get(&v).map(|&i| i as usize),
+            None => self.members.binary_search(&v).ok(),
+        }
+    }
+
+    /// Whether `v` lies in this vicinity.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.position(v).is_some()
+    }
+
+    /// Exact distance from the owner to `v`, if `v` is in the vicinity.
+    #[inline]
+    pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
+        self.position(v).map(|i| self.distances[i])
+    }
+
+    /// Shortest-path predecessor of `v` (its neighbour on a shortest path
+    /// from the owner), if `v` is in the vicinity and paths are stored.
+    /// Returns `None` for the owner itself.
+    pub fn predecessor_of(&self, v: NodeId) -> Option<NodeId> {
+        if self.predecessors.is_empty() {
+            return None;
+        }
+        let i = self.position(v)?;
+        let p = self.predecessors[i];
+        (p != INVALID_NODE).then_some(p)
+    }
+
+    /// Whether shortest-path predecessors are stored.
+    pub fn stores_paths(&self) -> bool {
+        !self.predecessors.is_empty() || self.members.is_empty()
+    }
+
+    /// Reconstruct the shortest path from the owner to `v` (inclusive), by
+    /// chasing stored predecessors. Every intermediate node lies in the ball
+    /// and therefore in the vicinity, so the chase never leaves the table.
+    /// Returns `None` when `v` is not a member or paths are not stored.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.predecessors.is_empty() && v != self.owner {
+            return None;
+        }
+        self.position(v)?;
+        let mut path = vec![v];
+        let mut current = v;
+        while current != self.owner {
+            let pred = self.predecessor_of(current)?;
+            path.push(pred);
+            current = pred;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Approximate memory footprint in bytes (member, distance, predecessor
+    /// and boundary arrays plus the hash index if present).
+    pub fn memory_bytes(&self) -> usize {
+        let base = self.members.len() * std::mem::size_of::<NodeId>()
+            + self.distances.len() * std::mem::size_of::<Distance>()
+            + self.predecessors.len() * std::mem::size_of::<NodeId>()
+            + self.boundary.len() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>();
+        // A HashMap entry costs roughly 2× the key/value payload once load
+        // factor and control bytes are accounted for.
+        let hash = self
+            .hash_index
+            .as_ref()
+            .map(|h| h.capacity() * (std::mem::size_of::<(NodeId, u32)>() * 2))
+            .unwrap_or(0);
+        base + hash
+    }
+
+    /// Number of stored table entries (one per vicinity member), the unit
+    /// the paper uses for its memory comparison.
+    pub fn entry_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Internal constructor used by deserialization.
+    pub(crate) fn from_raw_parts(
+        owner: NodeId,
+        radius: Distance,
+        nearest_landmark: NodeId,
+        members: Vec<NodeId>,
+        distances: Vec<Distance>,
+        predecessors: Vec<NodeId>,
+        boundary: Vec<u32>,
+        backend: TableBackend,
+    ) -> Self {
+        let hash_index = match backend {
+            TableBackend::HashMap => Some(
+                members.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect::<HashMap<_, _>>(),
+            ),
+            TableBackend::SortedArray => None,
+        };
+        NodeVicinity {
+            owner,
+            radius,
+            nearest_landmark,
+            members,
+            distances,
+            predecessors,
+            boundary,
+            hash_index,
+        }
+    }
+
+    /// Raw accessors for serialization: `(members, distances, predecessors,
+    /// boundary, radius, nearest_landmark)`.
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (&[NodeId], &[Distance], &[NodeId], &[u32], Distance, NodeId) {
+        (
+            &self.members,
+            &self.distances,
+            &self.predecessors,
+            &self.boundary,
+            self.radius,
+            self.nearest_landmark,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vicinity_graph::algo::bfs::bfs_distances;
+    use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+
+    fn build(graph: &CsrGraph, owner: NodeId, radius: Distance) -> NodeVicinity {
+        NodeVicinity::build(graph, owner, Some(radius), Some(0), TableBackend::HashMap, true)
+    }
+
+    #[test]
+    fn vicinity_on_path_graph() {
+        let g = classic::path(10);
+        let v = build(&g, 5, 2);
+        // Members: nodes at distance <= 2 from node 5.
+        assert_eq!(v.members(), &[3, 4, 5, 6, 7]);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.distance_to(5), Some(0));
+        assert_eq!(v.distance_to(3), Some(2));
+        assert_eq!(v.distance_to(8), None);
+        assert!(v.contains(7));
+        assert!(!v.contains(2));
+        assert_eq!(v.radius(), 2);
+        assert_eq!(v.owner(), 5);
+        assert_eq!(v.nearest_landmark(), Some(0));
+    }
+
+    #[test]
+    fn boundary_on_path_graph() {
+        let g = classic::path(10);
+        let v = build(&g, 5, 2);
+        // Nodes 3 and 7 have neighbours (2 and 8) outside the vicinity.
+        let boundary: Vec<NodeId> = v.boundary_iter().map(|(n, _)| n).collect();
+        assert_eq!(boundary, vec![3, 7]);
+        assert_eq!(v.boundary_len(), 2);
+        // Boundary distances are the full radius here.
+        assert!(v.boundary_iter().all(|(_, d)| d == 2));
+    }
+
+    #[test]
+    fn landmark_vicinity_is_empty() {
+        let g = classic::path(5);
+        let v = NodeVicinity::build(&g, 2, Some(0), Some(2), TableBackend::HashMap, true);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.boundary_len(), 0);
+        assert!(!v.contains(2));
+        assert_eq!(v.distance_to(2), None);
+        assert_eq!(v.path_to(2), None);
+    }
+
+    #[test]
+    fn paths_chase_predecessors_correctly() {
+        let g = classic::grid(5, 5);
+        let v = build(&g, 12, 3);
+        for (member, dist) in v.iter() {
+            let path = v.path_to(member).expect("member path must exist");
+            assert_eq!(path.len() as Distance, dist + 1);
+            assert_eq!(path[0], 12);
+            assert_eq!(*path.last().unwrap(), member);
+            for w in path.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "non-edge {w:?} in path");
+            }
+        }
+        assert!(v.stores_paths());
+    }
+
+    #[test]
+    fn without_path_storage_no_predecessors() {
+        let g = classic::grid(4, 4);
+        let v = NodeVicinity::build(&g, 5, Some(2), Some(0), TableBackend::SortedArray, false);
+        assert!(!v.stores_paths());
+        assert_eq!(v.predecessor_of(6), None);
+        assert_eq!(v.path_to(6), None);
+        // Distances still work.
+        assert_eq!(v.distance_to(6), Some(1));
+    }
+
+    #[test]
+    fn backends_agree() {
+        let g = SocialGraphConfig::small_test().generate(61);
+        let hash = NodeVicinity::build(&g, 10, Some(3), Some(0), TableBackend::HashMap, true);
+        let sorted = NodeVicinity::build(&g, 10, Some(3), Some(0), TableBackend::SortedArray, true);
+        assert_eq!(hash.members(), sorted.members());
+        assert_eq!(hash.len(), sorted.len());
+        assert_eq!(hash.boundary_len(), sorted.boundary_len());
+        for (m, d) in hash.iter() {
+            assert_eq!(sorted.distance_to(m), Some(d));
+            assert_eq!(sorted.predecessor_of(m), hash.predecessor_of(m));
+        }
+        // The hash backend costs more memory.
+        assert!(hash.memory_bytes() >= sorted.memory_bytes());
+    }
+
+    #[test]
+    fn distances_match_reference_bfs() {
+        let g = SocialGraphConfig::small_test().generate(62);
+        let reference = bfs_distances(&g, 0);
+        let v = NodeVicinity::build(&g, 0, Some(3), Some(7), TableBackend::SortedArray, true);
+        for (member, dist) in v.iter() {
+            assert_eq!(dist, reference[member as usize], "member {member}");
+        }
+        // Everything at distance <= 3 is a member.
+        for node in g.nodes() {
+            if reference[node as usize] <= 3 {
+                assert!(v.contains(node), "node {node} should be in the vicinity");
+            } else {
+                assert!(!v.contains(node));
+            }
+        }
+    }
+
+    #[test]
+    fn no_reachable_landmark_covers_component() {
+        let mut b = GraphBuilder::with_node_count(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        let g = b.build_undirected();
+        let v = NodeVicinity::build(&g, 0, None, None, TableBackend::HashMap, true);
+        assert_eq!(v.members(), &[0, 1, 2]);
+        assert_eq!(v.nearest_landmark(), None);
+        // The whole component is inside, so there is no boundary.
+        assert_eq!(v.boundary_len(), 0);
+    }
+
+    #[test]
+    fn entry_count_and_memory() {
+        let g = classic::complete(10);
+        let v = build(&g, 0, 1);
+        assert_eq!(v.entry_count(), 10);
+        assert!(v.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let g = classic::grid(4, 4);
+        let v = build(&g, 5, 2);
+        let (members, distances, preds, boundary, radius, nearest) = v.raw_parts();
+        let rebuilt = NodeVicinity::from_raw_parts(
+            5,
+            radius,
+            nearest,
+            members.to_vec(),
+            distances.to_vec(),
+            preds.to_vec(),
+            boundary.to_vec(),
+            TableBackend::HashMap,
+        );
+        assert_eq!(v, rebuilt);
+    }
+}

@@ -1,0 +1,24 @@
+//! # vicinity-datasets
+//!
+//! Dataset and workload substrate for the vicinity-oracle experiments.
+//!
+//! The paper evaluates on four crawled social networks (Table 2): DBLP,
+//! Flickr, Orkut and LiveJournal. Those crawls are not redistributable, so
+//! this crate provides:
+//!
+//! * [`registry`] — seeded synthetic **stand-ins** for the four datasets,
+//!   with matched relative sizes and densities (scaled down so everything
+//!   runs on a laptop), plus disk caching of generated graphs;
+//! * [`loader`] — drop-in loading of the *real* SNAP edge lists when the
+//!   user has them (`VICINITY_DATA_DIR`), so the same experiments can be
+//!   re-run on the original data;
+//! * [`workload`] — the §2.3 evaluation workload (sample `k` nodes, take
+//!   all pairs, repeat) and simpler random-pair workloads for latency
+//!   benchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod loader;
+pub mod registry;
+pub mod workload;

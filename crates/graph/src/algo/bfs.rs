@@ -1,0 +1,360 @@
+//! Breadth-first search primitives.
+//!
+//! The vicinity oracle's offline phase is "a modified shortest path
+//! algorithm that stops once all the nodes at distance `d(u, ℓ(u))` or less
+//! have been visited" (§2.2) — i.e. a bounded BFS on unweighted graphs. The
+//! bounded / predicate-terminated variants live here so they can be reused
+//! by both the oracle and the baselines.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::{Distance, NodeId, INFINITY, INVALID_NODE};
+
+/// Result of a full single-source BFS: distances and BFS-tree parents.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Distance from the source to every node (`INFINITY` when unreachable).
+    pub distances: Vec<Distance>,
+    /// Parent of each node in the BFS tree (`INVALID_NODE` for the source
+    /// and for unreachable nodes).
+    pub parents: Vec<NodeId>,
+    /// The source node.
+    pub source: NodeId,
+    /// Number of nodes reached (including the source).
+    pub reached: usize,
+}
+
+impl BfsTree {
+    /// Distance to `v`, or `None` when unreachable.
+    pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
+        match self.distances.get(v as usize) {
+            Some(&d) if d != INFINITY => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Reconstruct the path from the source to `v` (inclusive of both
+    /// endpoints), or `None` when `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.distance_to(v).is_none() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parents[cur as usize];
+            debug_assert_ne!(cur, INVALID_NODE, "reachable node must have a parent chain");
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Full single-source BFS returning only the distance array.
+pub fn bfs_distances(graph: &CsrGraph, source: NodeId) -> Vec<Distance> {
+    bfs_tree(graph, source).distances
+}
+
+/// Full single-source BFS returning distances and parents.
+pub fn bfs_tree(graph: &CsrGraph, source: NodeId) -> BfsTree {
+    let n = graph.node_count();
+    let mut distances = vec![INFINITY; n];
+    let mut parents = vec![INVALID_NODE; n];
+    let mut reached = 0usize;
+    let mut queue = VecDeque::new();
+
+    if (source as usize) < n {
+        distances[source as usize] = 0;
+        reached = 1;
+        queue.push_back(source);
+    }
+
+    while let Some(u) = queue.pop_front() {
+        let du = distances[u as usize];
+        for &v in graph.neighbors(u) {
+            if distances[v as usize] == INFINITY {
+                distances[v as usize] = du + 1;
+                parents[v as usize] = u;
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+
+    BfsTree { distances, parents, source, reached }
+}
+
+/// Point-to-point BFS distance; stops as soon as `target` is settled.
+/// Returns `None` when the target is unreachable (or either endpoint is out
+/// of range).
+pub fn bfs_distance_between(graph: &CsrGraph, source: NodeId, target: NodeId) -> Option<Distance> {
+    let n = graph.node_count();
+    if (source as usize) >= n || (target as usize) >= n {
+        return None;
+    }
+    if source == target {
+        return Some(0);
+    }
+    let mut distances = vec![INFINITY; n];
+    let mut queue = VecDeque::new();
+    distances[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = distances[u as usize];
+        for &v in graph.neighbors(u) {
+            if distances[v as usize] == INFINITY {
+                if v == target {
+                    return Some(du + 1);
+                }
+                distances[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// A node visited by a bounded BFS, with its distance and BFS parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisitedNode {
+    /// The visited node.
+    pub node: NodeId,
+    /// Its distance from the BFS source.
+    pub distance: Distance,
+    /// Its parent in the BFS tree (`INVALID_NODE` for the source).
+    pub parent: NodeId,
+}
+
+/// BFS bounded by a maximum distance: visits exactly the nodes at distance
+/// `<= radius` from `source` and returns them in non-decreasing distance
+/// order. This is the "modified shortest path algorithm" of Thorup–Zwick
+/// used by the paper to build balls.
+pub fn bounded_bfs(graph: &CsrGraph, source: NodeId, radius: Distance) -> Vec<VisitedNode> {
+    bfs_until(graph, source, |visited| visited.distance > radius)
+}
+
+/// BFS that visits nodes in non-decreasing distance order and stops (without
+/// recording the node) at the first node for which `stop` returns true.
+/// All previously visited nodes are returned in visit order.
+///
+/// The stopping rule is evaluated on settled nodes, so the traversal stops
+/// at a well-defined distance frontier: once a node at distance `d` triggers
+/// `stop`, no node at distance `> d` is recorded, and every node at distance
+/// `< d` has already been recorded.
+pub fn bfs_until<F>(graph: &CsrGraph, source: NodeId, mut stop: F) -> Vec<VisitedNode>
+where
+    F: FnMut(&VisitedNode) -> bool,
+{
+    let n = graph.node_count();
+    let mut visited: Vec<VisitedNode> = Vec::new();
+    if (source as usize) >= n {
+        return visited;
+    }
+    // A local hash map keeps memory proportional to the explored region, not
+    // the whole graph — essential for the O(α√n) ball-construction cost.
+    let mut dist: std::collections::HashMap<NodeId, Distance> = std::collections::HashMap::new();
+    let mut queue: VecDeque<VisitedNode> = VecDeque::new();
+    let start = VisitedNode { node: source, distance: 0, parent: INVALID_NODE };
+    dist.insert(source, 0);
+    queue.push_back(start);
+
+    while let Some(v) = queue.pop_front() {
+        if stop(&v) {
+            break;
+        }
+        visited.push(v);
+        for &w in graph.neighbors(v.node) {
+            if !dist.contains_key(&w) {
+                dist.insert(w, v.distance + 1);
+                queue.push_back(VisitedNode { node: w, distance: v.distance + 1, parent: v.node });
+            }
+        }
+    }
+    visited
+}
+
+/// Multi-source BFS: the distance of every node to its nearest source, and
+/// which source that is. Used to compute `ℓ(u)` (nearest landmark) and
+/// `d(u, ℓ(u))` for every node in a single O(n + m) pass.
+#[derive(Debug, Clone)]
+pub struct MultiSourceBfs {
+    /// Distance from each node to the closest source.
+    pub distances: Vec<Distance>,
+    /// The closest source for each node (`INVALID_NODE` if unreachable).
+    pub nearest_source: Vec<NodeId>,
+}
+
+/// Run a multi-source BFS from `sources`.
+pub fn multi_source_bfs(graph: &CsrGraph, sources: &[NodeId]) -> MultiSourceBfs {
+    let n = graph.node_count();
+    let mut distances = vec![INFINITY; n];
+    let mut nearest_source = vec![INVALID_NODE; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if (s as usize) < n && distances[s as usize] == INFINITY {
+            distances[s as usize] = 0;
+            nearest_source[s as usize] = s;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = distances[u as usize];
+        let su = nearest_source[u as usize];
+        for &v in graph.neighbors(u) {
+            if distances[v as usize] == INFINITY {
+                distances[v as usize] = du + 1;
+                nearest_source[v as usize] = su;
+                queue.push_back(v);
+            }
+        }
+    }
+    MultiSourceBfs { distances, nearest_source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::classic;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        classic::path(n)
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_tree_path_reconstruction() {
+        let g = path_graph(5);
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.reached, 5);
+        assert_eq!(t.path_to(4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(t.path_to(0), Some(vec![0]));
+        assert_eq!(t.distance_to(3), Some(3));
+    }
+
+    #[test]
+    fn bfs_handles_disconnected_graph() {
+        let mut b = GraphBuilder::with_node_count(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build_undirected();
+        let t = bfs_tree(&g, 0);
+        assert_eq!(t.reached, 2);
+        assert_eq!(t.distance_to(2), None);
+        assert_eq!(t.path_to(3), None);
+        assert_eq!(bfs_distance_between(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn bfs_distance_between_matches_full_bfs() {
+        let g = classic::grid(4, 4);
+        let full = bfs_distances(&g, 0);
+        for v in 0..16u32 {
+            assert_eq!(bfs_distance_between(&g, 0, v), Some(full[v as usize]));
+        }
+    }
+
+    #[test]
+    fn bfs_distance_between_source_equals_target() {
+        let g = path_graph(3);
+        assert_eq!(bfs_distance_between(&g, 1, 1), Some(0));
+    }
+
+    #[test]
+    fn bfs_out_of_range_source_is_empty() {
+        let g = path_graph(3);
+        assert_eq!(bfs_distance_between(&g, 7, 0), None);
+        assert_eq!(bfs_distance_between(&g, 0, 7), None);
+        let t = bfs_tree(&g, 9);
+        assert_eq!(t.reached, 0);
+        assert!(bounded_bfs(&g, 9, 2).is_empty());
+    }
+
+    #[test]
+    fn bounded_bfs_respects_radius() {
+        let g = path_graph(10);
+        let visited = bounded_bfs(&g, 0, 3);
+        let nodes: Vec<NodeId> = visited.iter().map(|v| v.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert!(visited.iter().all(|v| v.distance <= 3));
+        // Distances are non-decreasing in visit order.
+        assert!(visited.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn bounded_bfs_zero_radius_is_source_only() {
+        let g = path_graph(5);
+        let visited = bounded_bfs(&g, 2, 0);
+        assert_eq!(visited.len(), 1);
+        assert_eq!(visited[0].node, 2);
+        assert_eq!(visited[0].parent, INVALID_NODE);
+    }
+
+    #[test]
+    fn bfs_until_stop_predicate() {
+        let g = classic::star(10); // hub 0 with 10 leaves
+        // Stop as soon as we would settle a node at distance 2 (none exist,
+        // so everything is visited).
+        let all = bfs_until(&g, 0, |v| v.distance > 1);
+        assert_eq!(all.len(), 11);
+        // Stop after 3 visited nodes.
+        let mut count = 0;
+        let some = bfs_until(&g, 0, move |_| {
+            count += 1;
+            count > 3
+        });
+        assert_eq!(some.len(), 3);
+    }
+
+    #[test]
+    fn bounded_bfs_parents_form_valid_tree() {
+        let g = classic::grid(5, 5);
+        let visited = bounded_bfs(&g, 12, 3);
+        let by_node: std::collections::HashMap<NodeId, VisitedNode> =
+            visited.iter().map(|v| (v.node, *v)).collect();
+        for v in &visited {
+            if v.node == 12 {
+                assert_eq!(v.parent, INVALID_NODE);
+            } else {
+                let p = by_node.get(&v.parent).expect("parent must be visited earlier");
+                assert_eq!(p.distance + 1, v.distance);
+                assert!(g.has_edge(v.parent, v.node));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_assigns_nearest() {
+        let g = path_graph(10);
+        let ms = multi_source_bfs(&g, &[0, 9]);
+        assert_eq!(ms.distances[0], 0);
+        assert_eq!(ms.distances[9], 0);
+        assert_eq!(ms.distances[4], 4);
+        assert_eq!(ms.distances[5], 4);
+        assert_eq!(ms.nearest_source[1], 0);
+        assert_eq!(ms.nearest_source[8], 9);
+    }
+
+    #[test]
+    fn multi_source_bfs_empty_sources() {
+        let g = path_graph(4);
+        let ms = multi_source_bfs(&g, &[]);
+        assert!(ms.distances.iter().all(|&d| d == INFINITY));
+        assert!(ms.nearest_source.iter().all(|&s| s == INVALID_NODE));
+    }
+
+    #[test]
+    fn multi_source_bfs_duplicate_sources() {
+        let g = path_graph(4);
+        let ms = multi_source_bfs(&g, &[1, 1, 1]);
+        assert_eq!(ms.distances, vec![1, 0, 1, 2]);
+    }
+}

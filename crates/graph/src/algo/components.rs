@@ -1,0 +1,214 @@
+//! Connected components.
+//!
+//! The paper assumes "a connected, undirected network" (Table 1). Real and
+//! synthetic social graphs are not necessarily connected, so both the
+//! dataset registry and the experiments extract the largest connected
+//! component before building the oracle.
+
+use std::collections::VecDeque;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::{NodeId, INVALID_NODE};
+
+/// Labelling of every node with a component id (`0..component_count`).
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id of every node.
+    pub labels: Vec<u32>,
+    /// Number of nodes in each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Id of the largest component (ties broken towards the smaller id).
+    /// Returns `None` for an empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True when the whole graph is a single connected component.
+    pub fn is_connected(&self) -> bool {
+        self.count() <= 1
+    }
+}
+
+/// Compute connected components with repeated BFS. O(n + m).
+pub fn connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for start in 0..n as NodeId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        let comp = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start as usize] = comp;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in graph.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = comp;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// Result of extracting the largest connected component: the induced
+/// subgraph plus the mapping between old and new node ids.
+#[derive(Debug, Clone)]
+pub struct LargestComponent {
+    /// The extracted subgraph with dense ids `0..size`.
+    pub graph: CsrGraph,
+    /// `old_of_new[new_id] = old_id`.
+    pub old_of_new: Vec<NodeId>,
+    /// `new_of_old[old_id] = new_id`, or `INVALID_NODE` when the old node is
+    /// not part of the largest component.
+    pub new_of_old: Vec<NodeId>,
+}
+
+/// Extract the largest connected component as a standalone graph with
+/// relabelled, dense node ids. An empty input yields an empty output.
+pub fn largest_connected_component(graph: &CsrGraph) -> LargestComponent {
+    let comps = connected_components(graph);
+    let Some(target) = comps.largest() else {
+        return LargestComponent {
+            graph: GraphBuilder::new().build_undirected(),
+            old_of_new: Vec::new(),
+            new_of_old: Vec::new(),
+        };
+    };
+
+    let n = graph.node_count();
+    let mut new_of_old = vec![INVALID_NODE; n];
+    let mut old_of_new = Vec::with_capacity(comps.largest_size());
+    for old in 0..n as NodeId {
+        if comps.labels[old as usize] == target {
+            new_of_old[old as usize] = old_of_new.len() as NodeId;
+            old_of_new.push(old);
+        }
+    }
+
+    let mut builder = GraphBuilder::with_node_count(old_of_new.len());
+    for &old_u in &old_of_new {
+        let new_u = new_of_old[old_u as usize];
+        for &old_v in graph.neighbors(old_u) {
+            let new_v = new_of_old[old_v as usize];
+            debug_assert_ne!(new_v, INVALID_NODE, "neighbour must be in same component");
+            if new_u < new_v {
+                builder.add_edge(new_u, new_v);
+            }
+        }
+    }
+    LargestComponent { graph: builder.build_undirected(), old_of_new, new_of_old }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn single_component_graph() {
+        let g = classic::cycle(6);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.is_connected());
+        assert_eq!(c.largest_size(), 6);
+        assert_eq!(c.largest(), Some(0));
+    }
+
+    #[test]
+    fn multiple_components_detected() {
+        let mut b = GraphBuilder::with_node_count(7);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        // 5 and 6 are isolated.
+        let g = b.build_undirected();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 4);
+        assert!(!c.is_connected());
+        assert_eq!(c.largest_size(), 3);
+        // Nodes in the same component share a label.
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[1], c.labels[2]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_ne!(c.labels[5], c.labels[6]);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = GraphBuilder::new().build_undirected();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+        assert_eq!(c.largest_size(), 0);
+        assert!(c.is_connected());
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = GraphBuilder::with_node_count(8);
+        // Component A: 0-1-2-3 (path), component B: 4-5, isolated: 6, 7.
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.add_edge(4, 5);
+        let g = b.build_undirected();
+        let lcc = largest_connected_component(&g);
+        assert_eq!(lcc.graph.node_count(), 4);
+        assert_eq!(lcc.graph.edge_count(), 3);
+        // Mapping round-trips.
+        for (new_id, &old_id) in lcc.old_of_new.iter().enumerate() {
+            assert_eq!(lcc.new_of_old[old_id as usize], new_id as NodeId);
+        }
+        // Nodes outside the component map to INVALID_NODE.
+        assert_eq!(lcc.new_of_old[4], INVALID_NODE);
+        assert_eq!(lcc.new_of_old[6], INVALID_NODE);
+        // Structure is preserved: path of length 3 in the new labels.
+        let a = lcc.new_of_old[0];
+        let d = lcc.new_of_old[3];
+        assert_eq!(crate::algo::bfs::bfs_distance_between(&lcc.graph, a, d), Some(3));
+    }
+
+    #[test]
+    fn largest_component_of_connected_graph_is_identity_sized() {
+        let g = classic::complete(5);
+        let lcc = largest_connected_component(&g);
+        assert_eq!(lcc.graph.node_count(), 5);
+        assert_eq!(lcc.graph.edge_count(), 10);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let g = GraphBuilder::new().build_undirected();
+        let lcc = largest_connected_component(&g);
+        assert_eq!(lcc.graph.node_count(), 0);
+        assert!(lcc.old_of_new.is_empty());
+        assert!(lcc.new_of_old.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! k-core decomposition.
+//!
+//! The coreness of a node is the largest `k` such that the node belongs to a
+//! subgraph in which every node has degree at least `k`. Social networks
+//! have deep cores (dense, well-connected "centres") and shallow peripheries
+//! — the same structural feature the vicinity argument exploits (dense
+//! neighbourhoods contain hubs, hubs become landmarks). The dataset
+//! registry and the experiment harness use the core decomposition to
+//! characterise the stand-ins, and the ablation discussion uses it to
+//! explain *where* vicinity misses concentrate (low-core peripheral nodes
+//! with large radii).
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Result of a k-core decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// Coreness of every node.
+    pub coreness: Vec<u32>,
+    /// The maximum coreness in the graph (the degeneracy).
+    pub degeneracy: u32,
+}
+
+impl CoreDecomposition {
+    /// Number of nodes whose coreness is at least `k`.
+    pub fn core_size(&self, k: u32) -> usize {
+        self.coreness.iter().filter(|&&c| c >= k).count()
+    }
+
+    /// The nodes of the innermost (maximum) core.
+    pub fn innermost_core(&self) -> Vec<NodeId> {
+        self.coreness
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == self.degeneracy)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+}
+
+/// Compute the k-core decomposition with the linear-time bucket algorithm of
+/// Batagelj–Zaveršnik. O(n + m).
+pub fn core_decomposition(graph: &CsrGraph) -> CoreDecomposition {
+    let n = graph.node_count();
+    if n == 0 {
+        return CoreDecomposition { coreness: Vec::new(), degeneracy: 0 };
+    }
+    let mut degree: Vec<u32> = (0..n).map(|u| graph.degree(u as NodeId) as u32).collect();
+    let max_degree = *degree.iter().max().unwrap_or(&0) as usize;
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut position = vec![0usize; n];
+    let mut order = vec![0 as NodeId; n];
+    {
+        let mut next = bin.clone();
+        for u in 0..n {
+            let d = degree[u] as usize;
+            position[u] = next[d];
+            order[next[d]] = u as NodeId;
+            next[d] += 1;
+        }
+    }
+
+    // Peel nodes in order of current degree.
+    let mut coreness = vec![0u32; n];
+    for i in 0..n {
+        let u = order[i];
+        coreness[u as usize] = degree[u as usize];
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if degree[v] > degree[u as usize] {
+                // Move v one bucket down: swap it with the first node of its
+                // current bucket, then shrink the bucket.
+                let dv = degree[v] as usize;
+                let pv = position[v];
+                let pw = bin[dv];
+                let w = order[pw];
+                if v as NodeId != w {
+                    order[pv] = w;
+                    order[pw] = v as NodeId;
+                    position[v] = pw;
+                    position[w as usize] = pv;
+                }
+                bin[dv] += 1;
+                degree[v] -= 1;
+            }
+        }
+    }
+    let degeneracy = coreness.iter().copied().max().unwrap_or(0);
+    CoreDecomposition { coreness, degeneracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{classic, social::SocialGraphConfig};
+
+    #[test]
+    fn complete_graph_core() {
+        let g = classic::complete(6);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 5);
+        assert!(d.coreness.iter().all(|&c| c == 5));
+        assert_eq!(d.core_size(5), 6);
+        assert_eq!(d.core_size(6), 0);
+        assert_eq!(d.innermost_core().len(), 6);
+    }
+
+    #[test]
+    fn path_and_cycle_cores() {
+        let d = core_decomposition(&classic::path(10));
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.coreness.iter().all(|&c| c == 1));
+        let d = core_decomposition(&classic::cycle(10));
+        assert_eq!(d.degeneracy, 2);
+        assert!(d.coreness.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn star_core() {
+        let g = classic::star(20);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert_eq!(d.coreness[0], 1, "the hub's coreness collapses with its leaves");
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        // Triangle 0-1-2 plus pendant 3-0: triangle nodes have coreness 2,
+        // the pendant 1.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        let d = core_decomposition(&b.build_undirected());
+        assert_eq!(d.coreness, vec![2, 2, 2, 1]);
+        assert_eq!(d.degeneracy, 2);
+        assert_eq!(d.innermost_core(), vec![0, 1, 2]);
+        assert_eq!(d.core_size(1), 4);
+        assert_eq!(d.core_size(2), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let d = core_decomposition(&GraphBuilder::new().build_undirected());
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.coreness.is_empty());
+        let d = core_decomposition(&GraphBuilder::with_node_count(5).build_undirected());
+        assert_eq!(d.degeneracy, 0);
+        assert_eq!(d.coreness, vec![0; 5]);
+    }
+
+    #[test]
+    fn coreness_is_bounded_by_degree_and_monotone_under_k() {
+        let g = SocialGraphConfig::small_test().generate(31);
+        let d = core_decomposition(&g);
+        for u in g.nodes() {
+            assert!(d.coreness[u as usize] as usize <= g.degree(u));
+        }
+        // core_size is non-increasing in k.
+        let sizes: Vec<usize> = (0..=d.degeneracy).map(|k| d.core_size(k)).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert!(d.degeneracy >= 2, "a social graph should have a non-trivial core");
+    }
+
+    #[test]
+    fn innermost_core_induces_min_degree_degeneracy() {
+        // Every node of the innermost core has at least `degeneracy`
+        // neighbours inside the core (the defining property of a k-core).
+        let g = SocialGraphConfig::small_test().generate(32);
+        let d = core_decomposition(&g);
+        let core: std::collections::HashSet<NodeId> = d.innermost_core().into_iter().collect();
+        for &u in &core {
+            let inside = g.neighbors(u).iter().filter(|v| core.contains(v)).count();
+            assert!(
+                inside as u32 >= d.degeneracy,
+                "node {u} has only {inside} neighbours inside the {}-core",
+                d.degeneracy
+            );
+        }
+    }
+}

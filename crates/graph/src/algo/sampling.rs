@@ -1,0 +1,257 @@
+//! Node- and pair-sampling utilities.
+//!
+//! Two kinds of sampling appear in the paper:
+//!
+//! * **Degree-proportional node sampling** (§2.2) selects the landmark set
+//!   `L`: node `u` is kept with probability `p_s(u) ∝ deg(u)`.
+//! * **Uniform node sampling** (§2.3) drives the evaluation workload: "we
+//!   sampled 1000 random nodes and checked for every pair of sampled
+//!   nodes" whether their vicinities intersect.
+//!
+//! Both are implemented here so that the oracle crate and the dataset crate
+//! share one audited implementation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Sample each node independently with probability `prob(u)` (clamped to
+/// `[0, 1]`). Returns the selected node ids in ascending order.
+pub fn sample_nodes_by_probability<R, F>(graph: &CsrGraph, rng: &mut R, mut prob: F) -> Vec<NodeId>
+where
+    R: Rng,
+    F: FnMut(NodeId) -> f64,
+{
+    let mut selected = Vec::new();
+    for u in graph.nodes() {
+        let p = prob(u).clamp(0.0, 1.0);
+        if p > 0.0 && rng.gen::<f64>() < p {
+            selected.push(u);
+        }
+    }
+    selected
+}
+
+/// Degree-proportional sampling with the exact probability expression from
+/// §2.2 of the paper:
+///
+/// ```text
+/// p_s(u) = (m / (α · n · √n)) · (2n / m) · deg(u)
+///        = 2 · deg(u) / (α · √n)
+/// ```
+///
+/// (The expression simplifies; we keep both forms so the code is a literal
+/// transcription of the paper and the simplification is asserted in tests.)
+/// Probabilities above 1 are clamped, which matches the behaviour of any
+/// Bernoulli sampler and only affects the few highest-degree hubs.
+pub fn sample_landmarks_degree_proportional<R: Rng>(
+    graph: &CsrGraph,
+    alpha: f64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let n = graph.node_count() as f64;
+    let m = graph.edge_count() as f64;
+    if n == 0.0 || m == 0.0 || alpha <= 0.0 {
+        return Vec::new();
+    }
+    let base = (m / (alpha * n * n.sqrt())) * (2.0 * n / m);
+    sample_nodes_by_probability(graph, rng, |u| base * graph.degree(u) as f64)
+}
+
+/// The closed-form sampling probability for a node of degree `deg` in a
+/// graph of `n` nodes with parameter `alpha`: `2·deg / (α·√n)`.
+pub fn landmark_probability(n: usize, alpha: f64, deg: usize) -> f64 {
+    if n == 0 || alpha <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * deg as f64 / (alpha * (n as f64).sqrt())).clamp(0.0, 1.0)
+}
+
+/// Expected number of landmarks for a graph under degree-proportional
+/// sampling: `Σ_u min(1, 2·deg(u)/(α√n))`, which the paper approximates as
+/// `m / (α·√n)` · 2 (cf. §2.4 "the size of set L is roughly m / (α√n)").
+pub fn expected_landmark_count(graph: &CsrGraph, alpha: f64) -> f64 {
+    let n = graph.node_count();
+    graph
+        .nodes()
+        .map(|u| landmark_probability(n, alpha, graph.degree(u)))
+        .sum()
+}
+
+/// Sample `k` distinct nodes uniformly at random (or all nodes when
+/// `k >= n`). Returned in random order.
+pub fn sample_distinct_nodes<R: Rng>(graph: &CsrGraph, k: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    if k >= n {
+        nodes.shuffle(rng);
+        return nodes;
+    }
+    // partial_shuffle moves a random k-subset to the front.
+    let (front, _) = nodes.partial_shuffle(rng, k);
+    front.to_vec()
+}
+
+/// All ordered pairs `(s, t)` with `s != t` from a slice of sampled nodes —
+/// the §2.3 workload ("checked for every pair of sampled nodes").
+pub fn all_distinct_pairs(nodes: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::with_capacity(nodes.len().saturating_sub(1) * nodes.len());
+    for &s in nodes {
+        for &t in nodes {
+            if s != t {
+                pairs.push((s, t));
+            }
+        }
+    }
+    pairs
+}
+
+/// `k` source–destination pairs sampled uniformly at random with `s != t`.
+/// Used for latency workloads where the full quadratic pair set is too big.
+pub fn random_pairs<R: Rng>(graph: &CsrGraph, k: usize, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    let n = graph.node_count() as NodeId;
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut pairs = Vec::with_capacity(k);
+    while pairs.len() < k {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if s != t {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::classic;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn probability_formula_simplifies() {
+        // (m / (α n √n)) (2n/m) deg == 2 deg / (α √n)
+        let n = 10_000.0f64;
+        let m = 123_456.0f64;
+        let alpha = 4.0;
+        let deg = 17.0;
+        let paper = (m / (alpha * n * n.sqrt())) * (2.0 * n / m) * deg;
+        let simplified = 2.0 * deg / (alpha * n.sqrt());
+        assert!((paper - simplified).abs() < 1e-12);
+    }
+
+    #[test]
+    fn landmark_probability_clamps() {
+        assert_eq!(landmark_probability(0, 4.0, 10), 0.0);
+        assert_eq!(landmark_probability(100, 0.0, 10), 0.0);
+        assert_eq!(landmark_probability(4, 0.001, 1_000_000), 1.0);
+        let p = landmark_probability(10_000, 4.0, 10);
+        assert!(p > 0.0 && p < 1.0);
+    }
+
+    #[test]
+    fn zero_probability_selects_nothing() {
+        let g = classic::complete(10);
+        let sel = sample_nodes_by_probability(&g, &mut rng(), |_| 0.0);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn probability_one_selects_everything() {
+        let g = classic::complete(10);
+        let sel = sample_nodes_by_probability(&g, &mut rng(), |_| 1.0);
+        assert_eq!(sel.len(), 10);
+        // Ascending order.
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn degree_proportional_sampling_prefers_hubs() {
+        // Star with a huge hub: hub should almost always be selected when
+        // its probability clamps to 1, while leaves rarely are.
+        let g = classic::star(400);
+        let mut r = rng();
+        let mut hub_hits = 0;
+        let mut leaf_hits = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let l = sample_landmarks_degree_proportional(&g, 1.0, &mut r);
+            if l.contains(&0) {
+                hub_hits += 1;
+            }
+            leaf_hits += l.iter().filter(|&&u| u != 0).count();
+        }
+        assert_eq!(hub_hits, trials, "hub has clamped probability 1");
+        let leaf_rate = leaf_hits as f64 / (trials * 400) as f64;
+        let expected = landmark_probability(401, 1.0, 1);
+        assert!((leaf_rate - expected).abs() < 0.05, "leaf rate {leaf_rate} vs {expected}");
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_no_landmarks() {
+        let empty = GraphBuilder::new().build_undirected();
+        assert!(sample_landmarks_degree_proportional(&empty, 4.0, &mut rng()).is_empty());
+        let edgeless = GraphBuilder::with_node_count(5).build_undirected();
+        assert!(sample_landmarks_degree_proportional(&edgeless, 4.0, &mut rng()).is_empty());
+        let g = classic::path(5);
+        assert!(sample_landmarks_degree_proportional(&g, 0.0, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn expected_landmark_count_tracks_alpha() {
+        // Use a grid so per-node probabilities stay well below the clamp.
+        let g = classic::grid(50, 50);
+        let e4 = expected_landmark_count(&g, 4.0);
+        let e1 = expected_landmark_count(&g, 1.0);
+        assert!(e1 > e4, "smaller alpha means more landmarks ({e1} vs {e4})");
+        assert!(e4 > 0.0);
+        // With no clamping the exact expectation is Σ 2·deg/(α√n) = 4m/(α√n)
+        // (the paper quotes the order-of-magnitude form m/(α√n)).
+        let n = g.node_count() as f64;
+        let m = g.edge_count() as f64;
+        let exact = 4.0 * m / (4.0 * n.sqrt());
+        assert!((e4 - exact).abs() / exact < 0.05, "e4 {e4} vs exact {exact}");
+    }
+
+    #[test]
+    fn sample_distinct_nodes_properties() {
+        let g = classic::complete(20);
+        let s = sample_distinct_nodes(&g, 5, &mut rng());
+        assert_eq!(s.len(), 5);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        // k >= n returns all nodes.
+        let all = sample_distinct_nodes(&g, 100, &mut rng());
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn all_distinct_pairs_count() {
+        let nodes = vec![1, 2, 3, 4];
+        let pairs = all_distinct_pairs(&nodes);
+        assert_eq!(pairs.len(), 12); // 4 * 3 ordered pairs
+        assert!(pairs.iter().all(|&(s, t)| s != t));
+    }
+
+    #[test]
+    fn random_pairs_properties() {
+        let g = classic::complete(10);
+        let pairs = random_pairs(&g, 50, &mut rng());
+        assert_eq!(pairs.len(), 50);
+        assert!(pairs.iter().all(|&(s, t)| s != t && s < 10 && t < 10));
+        // Graphs with fewer than two nodes yield no pairs.
+        let single = GraphBuilder::with_node_count(1).build_undirected();
+        assert!(random_pairs(&single, 5, &mut rng()).is_empty());
+    }
+}

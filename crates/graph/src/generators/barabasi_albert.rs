@@ -1,0 +1,117 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! Produces heavy-tailed (power-law, exponent ≈ 3) degree distributions —
+//! the key structural property the paper's landmark sampling exploits:
+//! dense neighbourhoods are likely to contain a high-degree node which is
+//! likely to be a landmark, capping vicinity growth.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Generate a Barabási–Albert graph with `n` nodes where every new node
+/// attaches to `m` existing nodes chosen with probability proportional to
+/// their current degree.
+///
+/// The implementation uses the standard "repeated-targets" trick: a vector
+/// holding every edge endpoint, from which uniform sampling is equivalent to
+/// degree-proportional sampling. The initial seed graph is a star on
+/// `m + 1` nodes.
+pub fn generate<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let m = m.max(1);
+    if n == 0 {
+        return GraphBuilder::new().build_undirected();
+    }
+    if n <= m + 1 {
+        // Too small for the attachment process; return a complete graph.
+        return super::classic::complete(n);
+    }
+
+    let mut b = GraphBuilder::with_node_count(n);
+    // `endpoints` contains each node once per incident edge.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+
+    // Seed: star on nodes 0..=m with hub 0 (every seed node has degree >= 1).
+    for leaf in 1..=m {
+        b.add_edge(0, leaf as NodeId);
+        endpoints.push(0);
+        endpoints.push(leaf as NodeId);
+    }
+
+    for new in (m + 1)..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        // Rejection-sample m distinct targets.
+        while chosen.len() < m {
+            let &candidate = &endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(new as NodeId, t);
+            endpoints.push(new as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.build_undirected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::connected_components;
+    use crate::algo::degree::degree_stats;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = 500;
+        let m = 3;
+        let g = generate(n, m, &mut rng(1));
+        assert_eq!(g.node_count(), n);
+        // Seed star has m edges; each of the n - m - 1 subsequent nodes adds m.
+        assert_eq!(g.edge_count(), m + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = generate(300, 2, &mut rng(2));
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let g = generate(2000, 3, &mut rng(3));
+        let s = degree_stats(&g).unwrap();
+        assert!(s.min >= 2, "every node attaches with at least m edges (min {})", s.min);
+        assert!(s.max as f64 > 5.0 * s.mean, "hub degree {} should far exceed mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_complete() {
+        let g = generate(3, 5, &mut rng(4));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(generate(0, 2, &mut rng(4)).node_count(), 0);
+        assert_eq!(generate(1, 2, &mut rng(4)).node_count(), 1);
+    }
+
+    #[test]
+    fn m_zero_is_treated_as_one() {
+        let g = generate(50, 0, &mut rng(5));
+        assert_eq!(g.edge_count(), 49); // a random recursive tree
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(200, 2, &mut rng(7));
+        let b = generate(200, 2, &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic "classic" graphs: paths, cycles, stars, grids, complete
+//! graphs and binary trees. Primarily used by unit and property tests where
+//! exact distances are known in closed form.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Path graph `0 - 1 - ... - (n-1)`. A path with 0 or 1 nodes has no edges.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_node_count(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    b.build_undirected()
+}
+
+/// Cycle graph on `n >= 3` nodes; smaller inputs degenerate to a path.
+pub fn cycle(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_node_count(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as NodeId, i as NodeId);
+    }
+    if n >= 3 {
+        b.add_edge((n - 1) as NodeId, 0);
+    }
+    b.build_undirected()
+}
+
+/// Star graph: hub node `0` connected to `leaves` leaf nodes `1..=leaves`.
+pub fn star(leaves: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_node_count(leaves + 1);
+    for i in 1..=leaves {
+        b.add_edge(0, i as NodeId);
+    }
+    b.build_undirected()
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_node_count(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as NodeId, j as NodeId);
+        }
+    }
+    b.build_undirected()
+}
+
+/// `rows × cols` grid graph with 4-neighbour connectivity. Node `(r, c)`
+/// has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_node_count(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build_undirected()
+}
+
+/// Complete binary tree with `levels` levels (a single root for
+/// `levels == 1`). Node `i`'s children are `2i + 1` and `2i + 2`.
+pub fn binary_tree(levels: u32) -> CsrGraph {
+    if levels == 0 {
+        return GraphBuilder::new().build_undirected();
+    }
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::with_node_count(n);
+    for i in 0..n {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        if left < n {
+            b.add_edge(i as NodeId, left as NodeId);
+        }
+        if right < n {
+            b.add_edge(i as NodeId, right as NodeId);
+        }
+    }
+    b.build_undirected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bfs::bfs_distance_between;
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(bfs_distance_between(&g, 0, 4), Some(4));
+        let tiny = path(1);
+        assert_eq!(tiny.node_count(), 1);
+        assert_eq!(tiny.edge_count(), 0);
+        let empty = path(0);
+        assert_eq!(empty.node_count(), 0);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(bfs_distance_between(&g, 0, 3), Some(3));
+        assert_eq!(bfs_distance_between(&g, 0, 5), Some(1));
+        // Degenerate cycles fall back to paths.
+        assert_eq!(cycle(2).edge_count(), 1);
+        assert_eq!(cycle(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(7);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(bfs_distance_between(&g, 1, 2), Some(2));
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(bfs_distance_between(&g, 0, 5), Some(1));
+        assert_eq!(complete(0).node_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3*3 horizontal + 2*4 vertical = 9 + 8 = 17.
+        assert_eq!(g.edge_count(), 17);
+        // Manhattan distance between opposite corners.
+        assert_eq!(bfs_distance_between(&g, 0, 11), Some(5));
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(4);
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        // Distance between two deepest leaves in different subtrees:
+        // 3 up + 3 down = 6.
+        assert_eq!(bfs_distance_between(&g, 7, 14), Some(6));
+        assert_eq!(binary_tree(0).node_count(), 0);
+        assert_eq!(binary_tree(1).node_count(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Erdős–Rényi `G(n, m)` and `G(n, p)` random graphs.
+//!
+//! Uniform random graphs are *not* social-network-like (Poisson degrees, no
+//! clustering); they are included as a control topology for the ablation
+//! experiments — the vicinity-intersection rate on them shows how much of
+//! the paper's result comes from social structure versus from the √n
+//! landmark sampling itself.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// `G(n, m)`: a graph with exactly `n` nodes and (up to) `m` distinct
+/// uniform random edges. Self loops and duplicate edges are re-drawn, so the
+/// result has exactly `m` edges whenever `m <= n(n-1)/2`; otherwise the
+/// maximum possible number of edges.
+pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let mut b = GraphBuilder::with_node_count(n);
+    if n < 2 {
+        return b.build_undirected();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    let mut chosen = std::collections::HashSet::with_capacity(target);
+    while chosen.len() < target {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build_undirected()
+}
+
+/// `G(n, p)`: each of the `n(n-1)/2` possible edges appears independently
+/// with probability `p`. O(n²) — use only for modest `n`; for large sparse
+/// graphs prefer [`gnm`].
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    let p = p.clamp(0.0, 1.0);
+    let mut b = GraphBuilder::with_node_count(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build_undirected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 250, &mut rng(1));
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 250);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = gnm(5, 1000, &mut rng(2));
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn gnm_degenerate_inputs() {
+        assert_eq!(gnm(0, 10, &mut rng(3)).node_count(), 0);
+        assert_eq!(gnm(1, 10, &mut rng(3)).edge_count(), 0);
+        assert_eq!(gnm(10, 0, &mut rng(3)).edge_count(), 0);
+    }
+
+    #[test]
+    fn gnm_has_no_self_loops_or_duplicates() {
+        let g = gnm(50, 200, &mut rng(4));
+        for u in g.nodes() {
+            let neigh = g.neighbors(u);
+            assert!(!neigh.contains(&u), "self loop at {u}");
+            let mut sorted = neigh.to_vec();
+            sorted.dedup();
+            assert_eq!(sorted.len(), neigh.len(), "duplicate edge at {u}");
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng(5));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!((got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "edge count {got} too far from expectation {expected}");
+    }
+
+    #[test]
+    fn gnp_extreme_probabilities() {
+        assert_eq!(gnp(20, 0.0, &mut rng(6)).edge_count(), 0);
+        assert_eq!(gnp(20, 1.0, &mut rng(6)).edge_count(), 190);
+        // Out-of-range p values are clamped.
+        assert_eq!(gnp(10, 2.0, &mut rng(6)).edge_count(), 45);
+        assert_eq!(gnp(10, -1.0, &mut rng(6)).edge_count(), 0);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = gnm(80, 160, &mut rng(42));
+        let b = gnm(80, 160, &mut rng(42));
+        assert_eq!(a, b);
+    }
+}

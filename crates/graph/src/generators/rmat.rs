@@ -1,0 +1,135 @@
+//! R-MAT (recursive matrix) graphs.
+//!
+//! R-MAT produces skewed, community-like degree distributions and is the
+//! standard generator behind the Graph500 benchmark. It is included as an
+//! alternative heavy-tailed topology for scaling experiments where we want
+//! edge counts to grow faster than node counts (as in the Orkut dataset,
+//! whose density is far above the other datasets in Table 2).
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Partition probabilities for the four quadrants of the recursive matrix.
+/// Must sum to (approximately) 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatProbabilities {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatProbabilities {
+    /// The Graph500 reference parameters (a=0.57, b=0.19, c=0.19, d=0.05).
+    pub const GRAPH500: RmatProbabilities =
+        RmatProbabilities { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+
+    /// Validate that the probabilities are non-negative and sum to ~1.
+    pub fn is_valid(&self) -> bool {
+        let vals = [self.a, self.b, self.c, self.d];
+        vals.iter().all(|&p| p >= 0.0) && (vals.iter().sum::<f64>() - 1.0).abs() < 1e-6
+    }
+}
+
+/// Generate an R-MAT graph with `2^scale` nodes and approximately
+/// `edge_factor * 2^scale` undirected edges (self loops and duplicates are
+/// dropped, so the realised count is slightly lower).
+pub fn generate<R: Rng>(
+    scale: u32,
+    edge_factor: usize,
+    probs: RmatProbabilities,
+    rng: &mut R,
+) -> CsrGraph {
+    let probs = if probs.is_valid() { probs } else { RmatProbabilities::GRAPH500 };
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    b.ensure_nodes(n);
+    for _ in 0..m {
+        let (u, v) = sample_edge(scale, probs, rng);
+        b.add_edge(u, v);
+    }
+    b.build_undirected()
+}
+
+fn sample_edge<R: Rng>(scale: u32, probs: RmatProbabilities, rng: &mut R) -> (NodeId, NodeId) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < probs.a {
+            // top-left: no bits set
+        } else if r < probs.a + probs.b {
+            v |= 1;
+        } else if r < probs.a + probs.b + probs.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as NodeId, v as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::degree::degree_stats;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn graph500_probabilities_are_valid() {
+        assert!(RmatProbabilities::GRAPH500.is_valid());
+        assert!(!RmatProbabilities { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.is_valid());
+        assert!(!RmatProbabilities { a: -0.1, b: 0.5, c: 0.3, d: 0.3 }.is_valid());
+    }
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let g = generate(8, 8, RmatProbabilities::GRAPH500, &mut rng(1));
+        assert_eq!(g.node_count(), 256);
+        assert!(g.edge_count() > 0);
+        assert!(g.edge_count() <= 8 * 256);
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let g = generate(11, 8, RmatProbabilities::GRAPH500, &mut rng(2));
+        let s = degree_stats(&g).unwrap();
+        assert!(s.max as f64 > 5.0 * s.mean, "R-MAT should have hubs: max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn invalid_probabilities_fall_back_to_graph500() {
+        let bad = RmatProbabilities { a: 2.0, b: 0.0, c: 0.0, d: 0.0 };
+        let g = generate(6, 4, bad, &mut rng(3));
+        assert_eq!(g.node_count(), 64);
+    }
+
+    #[test]
+    fn scale_zero_is_single_node() {
+        let g = generate(0, 4, RmatProbabilities::GRAPH500, &mut rng(4));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(7, 6, RmatProbabilities::GRAPH500, &mut rng(5));
+        let b = generate(7, 6, RmatProbabilities::GRAPH500, &mut rng(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Social-network stand-in generator.
+//!
+//! Combines a Chung–Lu power-law backbone with a triangle-closure pass so
+//! the generated graphs have the three properties the paper's argument
+//! relies on: heavy-tailed degrees, small diameter and high clustering.
+//! The dataset registry (`vicinity-datasets`) instantiates this generator
+//! with per-dataset parameters chosen to mirror the relative sizes and
+//! densities of DBLP, Flickr, Orkut and LiveJournal (Table 2 of the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::algo::components::largest_connected_component;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::generators::chung_lu;
+use crate::NodeId;
+
+/// Parameters of the social stand-in generator.
+///
+/// The defaults produce a graph that looks like a scaled-down LiveJournal:
+/// power-law degrees with exponent ~2.4, average degree ~17 and clustering
+/// well above an equivalent random graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialGraphConfig {
+    /// Number of nodes before largest-component extraction.
+    pub nodes: usize,
+    /// Target average degree of the backbone.
+    pub average_degree: f64,
+    /// Power-law exponent of the expected-degree sequence.
+    pub gamma: f64,
+    /// Number of triangle-closure rounds (each round closes up to
+    /// `triangle_edges_per_round` wedges into triangles).
+    pub closure_rounds: usize,
+    /// Edges added per closure round, as a fraction of the backbone edges.
+    pub closure_fraction: f64,
+    /// Whether to restrict the result to its largest connected component
+    /// (the paper assumes connected networks).
+    pub largest_component_only: bool,
+}
+
+impl Default for SocialGraphConfig {
+    fn default() -> Self {
+        SocialGraphConfig {
+            nodes: 10_000,
+            average_degree: 17.0,
+            gamma: 2.4,
+            closure_rounds: 1,
+            closure_fraction: 0.15,
+            largest_component_only: true,
+        }
+    }
+}
+
+impl SocialGraphConfig {
+    /// A small configuration (about 2 000 nodes) suitable for unit tests and
+    /// doc examples; generates in a few milliseconds.
+    pub fn small_test() -> Self {
+        SocialGraphConfig { nodes: 2_000, average_degree: 8.0, ..Self::default() }
+    }
+
+    /// Builder-style setter for the node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Builder-style setter for the average degree.
+    pub fn with_average_degree(mut self, avg: f64) -> Self {
+        self.average_degree = avg;
+        self
+    }
+
+    /// Builder-style setter for the power-law exponent.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Generate a graph from this configuration with the given seed.
+    pub fn generate(&self, seed: u64) -> CsrGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        generate(self, &mut rng)
+    }
+}
+
+/// Generate a social stand-in graph.
+pub fn generate<R: Rng>(config: &SocialGraphConfig, rng: &mut R) -> CsrGraph {
+    if config.nodes == 0 {
+        return GraphBuilder::new().build_undirected();
+    }
+    // 1. Power-law backbone.
+    let backbone = chung_lu::power_law_graph(
+        config.nodes,
+        config.gamma,
+        config.average_degree.max(1.0),
+        rng,
+    );
+
+    // 2. Triangle closure: for sampled wedges u - v - w, add the edge u - w.
+    //    This raises clustering without materially changing the degree tail.
+    let mut builder = GraphBuilder::with_node_count(backbone.node_count());
+    for (u, v) in backbone.edges() {
+        builder.add_edge(u, v);
+    }
+    let nodes: Vec<NodeId> = backbone.nodes().collect();
+    for _ in 0..config.closure_rounds {
+        let to_add =
+            ((backbone.edge_count() as f64) * config.closure_fraction).round() as usize;
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < to_add && attempts < to_add * 10 {
+            attempts += 1;
+            let Some(&center) = nodes.choose(rng) else { break };
+            let neigh = backbone.neighbors(center);
+            if neigh.len() < 2 {
+                continue;
+            }
+            let a = neigh[rng.gen_range(0..neigh.len())];
+            let b = neigh[rng.gen_range(0..neigh.len())];
+            if a != b {
+                builder.add_edge(a, b);
+                added += 1;
+            }
+        }
+    }
+    let graph = builder.build_undirected();
+
+    // 3. Optionally restrict to the largest connected component.
+    if config.largest_component_only {
+        largest_connected_component(&graph).graph
+    } else {
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::clustering::sampled_average_clustering;
+    use crate::algo::components::connected_components;
+    use crate::algo::degree::degree_stats;
+    use crate::algo::diameter::double_sweep_diameter;
+    use crate::algo::sampling::sample_distinct_nodes;
+
+    #[test]
+    fn default_config_values_are_sane() {
+        let c = SocialGraphConfig::default();
+        assert!(c.nodes > 0);
+        assert!(c.average_degree > 1.0);
+        assert!(c.gamma > 2.0);
+        assert!(c.largest_component_only);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = SocialGraphConfig::default()
+            .with_nodes(500)
+            .with_average_degree(6.0)
+            .with_gamma(2.8);
+        assert_eq!(c.nodes, 500);
+        assert_eq!(c.average_degree, 6.0);
+        assert_eq!(c.gamma, 2.8);
+    }
+
+    #[test]
+    fn generated_graph_is_connected_and_sized() {
+        let g = SocialGraphConfig::small_test().generate(1);
+        assert!(g.node_count() > 1000, "largest component should retain most nodes");
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn generated_graph_is_heavy_tailed() {
+        let g = SocialGraphConfig::small_test().generate(2);
+        let s = degree_stats(&g).unwrap();
+        assert!(s.max as f64 > 3.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn generated_graph_has_small_diameter() {
+        let g = SocialGraphConfig::small_test().generate(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let d = double_sweep_diameter(&g, 2, &mut rng).unwrap();
+        assert!(d <= 12, "social graphs should have small diameter, got {d}");
+    }
+
+    #[test]
+    fn closure_raises_clustering() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let without = SocialGraphConfig {
+            closure_rounds: 0,
+            ..SocialGraphConfig::small_test()
+        };
+        let with = SocialGraphConfig {
+            closure_rounds: 2,
+            closure_fraction: 0.3,
+            ..SocialGraphConfig::small_test()
+        };
+        let g0 = without.generate(7);
+        let g1 = with.generate(7);
+        let sample0 = sample_distinct_nodes(&g0, 300, &mut rng);
+        let sample1 = sample_distinct_nodes(&g1, 300, &mut rng);
+        let c0 = sampled_average_clustering(&g0, &sample0);
+        let c1 = sampled_average_clustering(&g1, &sample1);
+        assert!(c1 > c0, "closure should raise clustering ({c0} -> {c1})");
+    }
+
+    #[test]
+    fn zero_nodes_gives_empty_graph() {
+        let c = SocialGraphConfig { nodes: 0, ..Default::default() };
+        assert_eq!(c.generate(1).node_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = SocialGraphConfig::small_test();
+        assert_eq!(c.generate(11), c.generate(11));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = SocialGraphConfig::small_test();
+        assert_ne!(c.generate(1), c.generate(2));
+    }
+}

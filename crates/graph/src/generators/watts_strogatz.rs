@@ -1,0 +1,125 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! High clustering with small diameter, but near-uniform degrees. Used by
+//! the ablation experiments to separate the effect of clustering from the
+//! effect of heavy-tailed degrees on vicinity intersection rates.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Generate a Watts–Strogatz graph: a ring of `n` nodes where each node is
+/// connected to its `k` nearest neighbours on each side (so degree `2k`
+/// before rewiring), and every edge is rewired to a uniform random endpoint
+/// with probability `beta`.
+///
+/// Rewiring keeps the source endpoint and re-targets the destination,
+/// skipping moves that would create self loops or duplicate edges (in which
+/// case the original edge is kept, matching the usual formulation).
+pub fn generate<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
+    let beta = beta.clamp(0.0, 1.0);
+    if n == 0 {
+        return GraphBuilder::new().build_undirected();
+    }
+    let k = k.max(1).min((n.saturating_sub(1)) / 2).max(1);
+    // Start with the ring lattice edge set.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for offset in 1..=k {
+            let v = (u + offset) % n;
+            if u as NodeId != v as NodeId {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    // Membership set for duplicate detection during rewiring.
+    let mut present: std::collections::HashSet<(NodeId, NodeId)> = edges
+        .iter()
+        .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+
+    for i in 0..edges.len() {
+        if rng.gen::<f64>() >= beta {
+            continue;
+        }
+        let (u, old_v) = edges[i];
+        let new_v = rng.gen_range(0..n as NodeId);
+        if new_v == u {
+            continue;
+        }
+        let new_key = if u < new_v { (u, new_v) } else { (new_v, u) };
+        if present.contains(&new_key) {
+            continue;
+        }
+        let old_key = if u < old_v { (u, old_v) } else { (old_v, u) };
+        present.remove(&old_key);
+        present.insert(new_key);
+        edges[i] = (u, new_v);
+    }
+
+    let mut b = GraphBuilder::with_node_count(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build_undirected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::clustering::average_clustering;
+    use crate::algo::components::connected_components;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zero_beta_is_a_ring_lattice() {
+        let g = generate(30, 2, 0.0, &mut rng(1));
+        assert_eq!(g.node_count(), 30);
+        assert_eq!(g.edge_count(), 60);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(connected_components(&g).is_connected());
+    }
+
+    #[test]
+    fn ring_lattice_has_high_clustering() {
+        let lattice = generate(100, 3, 0.0, &mut rng(2));
+        let rewired = generate(100, 3, 1.0, &mut rng(2));
+        assert!(average_clustering(&lattice) > average_clustering(&rewired),
+            "rewiring should destroy clustering");
+        assert!(average_clustering(&lattice) > 0.4);
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count_approximately() {
+        let g = generate(200, 4, 0.3, &mut rng(3));
+        // Rewiring never adds or removes edges, only retargets (skipped moves
+        // keep the original), so count is exactly n*k unless skips collide.
+        assert_eq!(g.edge_count(), 800);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(generate(0, 2, 0.5, &mut rng(4)).node_count(), 0);
+        let tiny = generate(3, 5, 0.5, &mut rng(4));
+        assert_eq!(tiny.node_count(), 3);
+        assert!(tiny.edge_count() <= 3);
+        // Out-of-range beta clamps.
+        let g = generate(20, 2, 7.0, &mut rng(4));
+        assert_eq!(g.node_count(), 20);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(80, 3, 0.2, &mut rng(9));
+        let b = generate(80, 3, 0.2, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

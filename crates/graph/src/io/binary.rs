@@ -1,0 +1,190 @@
+//! Compact binary graph format.
+//!
+//! Generated stand-in graphs for the larger experiments take tens of seconds
+//! to build; the experiment harness caches them on disk in this format so
+//! repeated runs are fast. The format is deliberately simple: a magic
+//! number, a version byte, the CSR arrays as little-endian integers and a
+//! trailing checksum.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0..4]   magic  b"VGR1"
+//! [4]      flags  bit0 = undirected
+//! [5..13]  node count (u64)
+//! [13..21] arc count  (u64)
+//! ...      offsets    ((n + 1) * u64)
+//! ...      targets    (arcs * u32)
+//! [last 8] checksum: sum of all preceding bytes as u64
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, NodeId, Result};
+
+const MAGIC: &[u8; 4] = b"VGR1";
+
+/// Serialize a graph to its binary representation.
+pub fn encode(graph: &CsrGraph) -> Bytes {
+    let n = graph.node_count();
+    let arcs = graph.arc_count();
+    let mut buf = BytesMut::with_capacity(4 + 1 + 16 + (n + 1) * 8 + arcs * 4 + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u8(u8::from(graph.is_undirected()));
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(arcs as u64);
+    for &o in graph.raw_offsets() {
+        buf.put_u64_le(o);
+    }
+    for &t in graph.raw_targets() {
+        buf.put_u32_le(t);
+    }
+    let checksum: u64 = buf.iter().map(|&b| b as u64).sum();
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+/// Deserialize a graph from its binary representation.
+pub fn decode(mut data: &[u8]) -> Result<CsrGraph> {
+    let total_len = data.len();
+    if total_len < 4 + 1 + 16 + 8 {
+        return Err(GraphError::Decode("input too short".into()));
+    }
+    // Verify checksum first.
+    let body = &data[..total_len - 8];
+    let expected: u64 = body.iter().map(|&b| b as u64).sum();
+    let stored = u64::from_le_bytes(
+        data[total_len - 8..]
+            .try_into()
+            .map_err(|_| GraphError::Decode("bad checksum field".into()))?,
+    );
+    if expected != stored {
+        return Err(GraphError::Decode(format!(
+            "checksum mismatch: stored {stored}, computed {expected}"
+        )));
+    }
+
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Decode("bad magic number".into()));
+    }
+    let flags = data.get_u8();
+    let undirected = flags & 1 == 1;
+    let n = data.get_u64_le() as usize;
+    let arcs = data.get_u64_le() as usize;
+
+    let need = (n + 1) * 8 + arcs * 4 + 8;
+    if data.remaining() < need {
+        return Err(GraphError::Decode(format!(
+            "truncated input: need {need} more bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        targets.push(data.get_u32_le());
+    }
+    CsrGraph::from_parts(offsets, targets, undirected)
+}
+
+/// Write a graph to a file in binary format.
+pub fn save<P: AsRef<std::path::Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    std::fs::write(path, encode(graph))?;
+    Ok(())
+}
+
+/// Read a graph from a binary-format file.
+pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<CsrGraph> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, erdos_renyi};
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_small_graph() {
+        let g = classic::grid(5, 7);
+        let encoded = encode(&g);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn round_trip_random_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = erdos_renyi::gnm(500, 2000, &mut rng);
+        let decoded = decode(&encode(&g)).unwrap();
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn round_trip_empty_graph() {
+        let g = crate::builder::GraphBuilder::new().build_undirected();
+        let decoded = decode(&encode(&g)).unwrap();
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let g = classic::path(10);
+        let encoded = encode(&g);
+        for len in [0, 3, 10, encoded.len() - 1] {
+            assert!(decode(&encoded[..len]).is_err(), "len {len} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_magic() {
+        let g = classic::path(10);
+        let mut bytes = encode(&g).to_vec();
+        bytes[0] = b'X';
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_flipped_payload_byte() {
+        let g = classic::path(10);
+        let mut bytes = encode(&g).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(decode(&bytes).is_err(), "checksum must catch payload corruption");
+    }
+
+    #[test]
+    fn directedness_flag_round_trips() {
+        let mut b = crate::builder::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build_directed();
+        let decoded = decode(&encode(&g)).unwrap();
+        assert!(!decoded.is_undirected());
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = classic::complete(8);
+        let dir = std::env::temp_dir().join("vicinity_graph_binary_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("complete8.vgr");
+        save(&g, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(g, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load("/does/not/exist.vgr").is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! Graph input/output.
+//!
+//! * [`edge_list`] — plain-text, SNAP-style edge lists (the format the
+//!   paper's datasets are distributed in). Supports `#` comments, blank
+//!   lines and arbitrary whitespace separators.
+//! * [`binary`] — a compact, versioned binary format (built on [`bytes`])
+//!   used to cache generated stand-in graphs and constructed oracles
+//!   between experiment runs.
+
+pub mod binary;
+pub mod edge_list;

@@ -1,0 +1,215 @@
+//! Weighted CSR graphs.
+//!
+//! The paper's algorithm is defined for non-negative edge weights (§2.2:
+//! "We assume that each edge in the network is assigned a non-negative
+//! weight; for unweighted networks, this weight is assumed to be 1"). The
+//! evaluation only uses unweighted social graphs, but the oracle and the
+//! Dijkstra-based baselines accept this weighted representation so that the
+//! weighted case is exercised by tests and ablations.
+
+use crate::csr::CsrGraph;
+use crate::{Distance, GraphError, NodeId, Result};
+
+/// An immutable weighted graph in compressed sparse row form.
+///
+/// Mirrors [`CsrGraph`] but stores a weight per arc. For undirected graphs
+/// both copies of an edge carry the same weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedCsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+    weights: Vec<Distance>,
+    undirected: bool,
+}
+
+impl WeightedCsrGraph {
+    /// Construct from raw CSR arrays, validating structural invariants.
+    pub fn from_parts(
+        offsets: Vec<u64>,
+        targets: Vec<NodeId>,
+        weights: Vec<Distance>,
+        undirected: bool,
+    ) -> Result<Self> {
+        if targets.len() != weights.len() {
+            return Err(GraphError::Decode(format!(
+                "targets ({}) and weights ({}) must have equal length",
+                targets.len(),
+                weights.len()
+            )));
+        }
+        // Reuse CsrGraph's validation for the structural part.
+        CsrGraph::from_parts(offsets.clone(), targets.clone(), undirected)?;
+        Ok(WeightedCsrGraph { offsets, targets, weights, undirected })
+    }
+
+    /// Build a weighted view of an unweighted graph where every edge has
+    /// weight 1 (the paper's convention for unweighted networks).
+    pub fn unit_weights(graph: &CsrGraph) -> Self {
+        WeightedCsrGraph {
+            offsets: graph.raw_offsets().to_vec(),
+            targets: graph.raw_targets().to_vec(),
+            weights: vec![1; graph.arc_count()],
+            undirected: graph.is_undirected(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges (undirected) or arcs (directed).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        if self.undirected {
+            self.targets.len() / 2
+        } else {
+            self.targets.len()
+        }
+    }
+
+    /// Whether the graph is undirected.
+    #[inline]
+    pub fn is_undirected(&self) -> bool {
+        self.undirected
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Neighbours of `u` together with the weight of the connecting edge.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+        let u = u as usize;
+        let range = self.offsets[u] as usize..self.offsets[u + 1] as usize;
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// Weight of the edge between `u` and `v`, if present. O(deg(u)).
+    pub fn weight_between(&self, u: NodeId, v: NodeId) -> Option<Distance> {
+        if (u as usize) >= self.node_count() || (v as usize) >= self.node_count() {
+            return None;
+        }
+        self.neighbors(u).find(|&(t, _)| t == v).map(|(_, w)| w)
+    }
+
+    /// Drop the weights and return the unweighted structure.
+    pub fn to_unweighted(&self) -> CsrGraph {
+        CsrGraph::from_parts(self.offsets.clone(), self.targets.clone(), self.undirected)
+            .expect("weighted graph has valid structure")
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_weight(&self) -> u64 {
+        let sum: u64 = self.weights.iter().map(|&w| w as u64).sum();
+        if self.undirected {
+            sum / 2
+        } else {
+            sum
+        }
+    }
+
+    /// Maximum edge weight, or `None` for an edgeless graph.
+    pub fn max_weight(&self) -> Option<Distance> {
+        self.weights.iter().copied().max()
+    }
+
+    /// Estimated in-memory size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+            + self.weights.len() * std::mem::size_of::<Distance>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn weighted_path() -> WeightedCsrGraph {
+        // 0 -2- 1 -3- 2 -4- 3
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 1, 2);
+        b.add_weighted_edge(1, 2, 3);
+        b.add_weighted_edge(2, 3, 4);
+        b.build_undirected_weighted()
+    }
+
+    #[test]
+    fn from_parts_rejects_length_mismatch() {
+        let err =
+            WeightedCsrGraph::from_parts(vec![0, 1], vec![0], vec![], false).unwrap_err();
+        assert!(matches!(err, GraphError::Decode(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_structure() {
+        assert!(WeightedCsrGraph::from_parts(vec![0, 2], vec![0], vec![1], false).is_err());
+    }
+
+    #[test]
+    fn unit_weights_cover_every_arc() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build_undirected();
+        let w = WeightedCsrGraph::unit_weights(&g);
+        assert_eq!(w.node_count(), g.node_count());
+        assert_eq!(w.edge_count(), g.edge_count());
+        for u in w.nodes() {
+            for (_, weight) in w.neighbors(u) {
+                assert_eq!(weight, 1);
+            }
+        }
+        assert_eq!(w.total_weight(), 2);
+        assert_eq!(w.max_weight(), Some(1));
+    }
+
+    #[test]
+    fn weighted_path_accessors() {
+        let g = weighted_path();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.weight_between(0, 1), Some(2));
+        assert_eq!(g.weight_between(1, 0), Some(2));
+        assert_eq!(g.weight_between(0, 3), None);
+        assert_eq!(g.weight_between(0, 99), None);
+        assert_eq!(g.total_weight(), 9);
+        assert_eq!(g.max_weight(), Some(4));
+        assert!(g.memory_bytes() > 0);
+        assert!(g.is_undirected());
+    }
+
+    #[test]
+    fn to_unweighted_preserves_structure() {
+        let g = weighted_path();
+        let u = g.to_unweighted();
+        assert_eq!(u.node_count(), 4);
+        assert_eq!(u.edge_count(), 3);
+        assert!(u.has_edge(1, 2));
+        assert!(!u.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edgeless_graph_max_weight_is_none() {
+        let g = WeightedCsrGraph::from_parts(vec![0, 0], vec![], vec![], true).unwrap();
+        assert_eq!(g.max_weight(), None);
+        assert_eq!(g.total_weight(), 0);
+    }
+}

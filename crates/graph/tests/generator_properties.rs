@@ -1,0 +1,113 @@
+//! Property-based tests for the graph generators and the structural
+//! invariants every generated graph must satisfy (no self loops, no parallel
+//! edges, sorted adjacency, symmetric arcs, valid CSR structure).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use vicinity_graph::algo::components::connected_components;
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::generators::{barabasi_albert, chung_lu, erdos_renyi, rmat, watts_strogatz};
+
+/// Structural invariants shared by every generator output.
+fn assert_well_formed(graph: &CsrGraph) {
+    graph.validate().expect("CSR structure must validate");
+    for u in graph.nodes() {
+        let neighbors = graph.neighbors(u);
+        // No self loops.
+        assert!(!neighbors.contains(&u), "self loop at {u}");
+        // Sorted and deduplicated adjacency.
+        assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate adjacency at {u}");
+        // Symmetry: every arc has its reverse.
+        for &v in neighbors {
+            assert!(graph.neighbors(v).contains(&u), "missing reverse arc {v}->{u}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn erdos_renyi_gnm_is_well_formed(n in 2usize..120, m in 0usize..400, seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = erdos_renyi::gnm(n, m, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= m.min(n * (n - 1) / 2));
+        assert_well_formed(&g);
+    }
+
+    #[test]
+    fn erdos_renyi_gnp_is_well_formed(n in 0usize..80, p in 0.0f64..1.0, seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = erdos_renyi::gnp(n, p, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        assert_well_formed(&g);
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_well_formed(
+        n in 2usize..200,
+        m in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = barabasi_albert::generate(n, m, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        assert_well_formed(&g);
+        prop_assert!(connected_components(&g).is_connected());
+        // Minimum degree is at least min(m, n-1) for n beyond the seed clique.
+        if n > m + 1 {
+            let min_degree = g.nodes().map(|u| g.degree(u)).min().unwrap_or(0);
+            prop_assert!(min_degree >= 1);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_budget(
+        n in 4usize..150,
+        k in 1usize..5,
+        beta in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = watts_strogatz::generate(n, k, beta, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        assert_well_formed(&g);
+        let effective_k = k.min((n - 1) / 2).max(1);
+        prop_assert!(g.edge_count() <= n * effective_k);
+    }
+
+    #[test]
+    fn chung_lu_is_well_formed(
+        n in 2usize..200,
+        gamma in 2.1f64..3.5,
+        avg in 1.0f64..12.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = chung_lu::power_law_graph(n, gamma, avg, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        assert_well_formed(&g);
+    }
+
+    #[test]
+    fn rmat_is_well_formed(scale in 1u32..9, edge_factor in 1usize..10, seed in 0u64..500) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = rmat::generate(scale, edge_factor, rmat::RmatProbabilities::GRAPH500, &mut rng);
+        prop_assert_eq!(g.node_count(), 1usize << scale);
+        prop_assert!(g.edge_count() <= edge_factor << scale);
+        assert_well_formed(&g);
+    }
+
+    /// Generators are pure functions of their RNG: the same seed yields the
+    /// same graph, different seeds (almost always) different graphs.
+    #[test]
+    fn generators_are_deterministic(n in 10usize..80, seed in 0u64..500) {
+        let make = |s: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            barabasi_albert::generate(n, 2, &mut rng)
+        };
+        prop_assert_eq!(make(seed), make(seed));
+    }
+}

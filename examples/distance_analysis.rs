@@ -1,0 +1,85 @@
+//! Research scenario from §1: "to generate unbiased samples for
+//! distance-based graph analysis experiments, it is often desirable to
+//! obtain the shortest distance between each pair of nodes in a randomly
+//! sampled set of nodes."
+//!
+//! This example samples a set of nodes, computes all-pairs distances within
+//! the sample through the oracle (falling back to bidirectional BFS for
+//! missed pairs), and prints the distance distribution and effective
+//! diameter of the stand-in network — exactly the kind of measurement study
+//! the paper's related work (Mislove et al.) performs on social graphs.
+//!
+//! ```bash
+//! cargo run --release --example distance_analysis
+//! ```
+
+use vicinity::core::fallback::QueryWithFallback;
+use vicinity::prelude::*;
+
+fn main() {
+    let dataset = Dataset::stand_in(StandIn::Dblp, vicinity::datasets::registry::Scale::Small);
+    let graph = &dataset.graph;
+    println!(
+        "analysing {}: {} nodes, {} edges",
+        dataset.name,
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(3).build(graph);
+    let workload = PairWorkload::paper_sampling(graph, 60, 2, 2024);
+    println!("workload: {} ({} pairs)", workload.description(), workload.len());
+
+    let mut engine = QueryWithFallback::new(&oracle, graph);
+    let mut histogram: Vec<u64> = Vec::new();
+    let mut unreachable = 0u64;
+    let start = std::time::Instant::now();
+    for (s, t) in workload.iter() {
+        match engine.distance(s, t).value() {
+            Some(d) => {
+                let d = d as usize;
+                if histogram.len() <= d {
+                    histogram.resize(d + 1, 0);
+                }
+                histogram[d] += 1;
+            }
+            None => unreachable += 1,
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let total: u64 = histogram.iter().sum();
+    println!(
+        "\ncomputed {} exact pairwise distances in {:.2?} ({:.1} µs/query, {:.1}% from the index)",
+        total,
+        elapsed,
+        elapsed.as_micros() as f64 / workload.len() as f64,
+        engine.oracle_hit_rate() * 100.0
+    );
+
+    println!("\nhop-distance distribution:");
+    let mut cumulative = 0u64;
+    let mut effective_diameter = 0usize;
+    for (d, &count) in histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let share = 100.0 * count as f64 / total as f64;
+        let cum_share = 100.0 * cumulative as f64 / total as f64;
+        if cum_share < 90.0 {
+            effective_diameter = d + 1;
+        }
+        println!("  {d:>2} hops: {count:>8} pairs  ({share:>5.1}%, cumulative {cum_share:>5.1}%)");
+    }
+    if unreachable > 0 {
+        println!("  unreachable pairs: {unreachable}");
+    }
+    let mean: f64 = histogram
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| d as f64 * c as f64)
+        .sum::<f64>()
+        / total.max(1) as f64;
+    println!("\nmean distance: {mean:.2} hops, effective (90th percentile) diameter: {effective_diameter} hops");
+}

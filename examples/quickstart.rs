@@ -1,0 +1,72 @@
+//! Quickstart: build a vicinity oracle over a synthetic social network and
+//! answer distance and path queries.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use vicinity::prelude::*;
+use vicinity::core::fallback::QueryWithFallback;
+
+fn main() {
+    // 1. Generate a small social-network-like graph (seeded, deterministic).
+    let graph = SocialGraphConfig::default().with_nodes(20_000).generate(42);
+    println!(
+        "generated graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // 2. Build the oracle with the paper's default alpha = 4.
+    let start = std::time::Instant::now();
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(7).build(&graph);
+    println!(
+        "built oracle in {:.2?}: {} landmarks, average vicinity size {:.1}, average radius {:.2}",
+        start.elapsed(),
+        oracle.landmarks().len(),
+        oracle.average_vicinity_size(),
+        oracle.average_vicinity_radius()
+    );
+
+    // 3. Distance queries.
+    let pairs = [(0u32, 1000u32), (17, 4242), (123, 19_000), (5, 5)];
+    for (s, t) in pairs {
+        let start = std::time::Instant::now();
+        let answer = oracle.distance(s, t);
+        let elapsed = start.elapsed();
+        match answer {
+            DistanceAnswer::Exact { distance, method } => {
+                println!("d({s}, {t}) = {distance} hops   [{method:?}, {elapsed:.1?}]")
+            }
+            DistanceAnswer::Unreachable => println!("d({s}, {t}): unreachable"),
+            DistanceAnswer::Miss => {
+                println!("d({s}, {t}): vicinities do not intersect (would use fallback)")
+            }
+        }
+    }
+
+    // 4. Path queries (the oracle stores shortest-path predecessors).
+    let (s, t) = (17u32, 4242u32);
+    match oracle.path_with_graph(&graph, s, t) {
+        PathAnswer::Exact { path, distance, .. } => {
+            println!("shortest path {s} -> {t} ({distance} hops): {path:?}");
+        }
+        other => println!("path {s} -> {t}: {other:?}"),
+    }
+
+    // 5. For the rare pairs whose vicinities do not intersect, combine the
+    //    oracle with an exact fallback so every query gets an exact answer.
+    let mut combined = QueryWithFallback::new(&oracle, &graph);
+    let mut answered = 0;
+    for i in 0..1000u32 {
+        let s = (i * 7919) % graph.node_count() as u32;
+        let t = (i * 104_729 + 1) % graph.node_count() as u32;
+        if combined.distance(s, t).value().is_some() {
+            answered += 1;
+        }
+    }
+    println!(
+        "combined oracle+fallback answered {answered}/1000 queries exactly ({:.1}% from the index alone)",
+        combined.oracle_hit_rate() * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! Social-recommendation scenario from the paper's introduction: "in
+//! professional networks like LinkedIn, it is desirable to find a short path
+//! from a job seeker to a potential employer".
+//!
+//! We model a professional network with the LiveJournal-like stand-in,
+//! pick a "job seeker" and a set of "potential employers", and use the
+//! vicinity oracle to (a) rank employers by social distance and (b) show the
+//! chain of introductions (the actual shortest path) to the best one.
+//!
+//! ```bash
+//! cargo run --release --example social_recommendations
+//! ```
+
+use vicinity::prelude::*;
+
+fn main() {
+    // The Flickr-scale stand-in keeps this example under a few seconds.
+    let dataset = Dataset::stand_in(StandIn::Flickr, vicinity::datasets::registry::Scale::Small);
+    let graph = &dataset.graph;
+    println!(
+        "professional network ({}): {} members, {} connections",
+        dataset.name,
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(99).build(graph);
+
+    // A job seeker and candidate employers (hiring managers).
+    let job_seeker: u32 = 4321 % graph.node_count() as u32;
+    let employers: Vec<u32> = (0..12)
+        .map(|i| (i * 1_000_003 + 17) % graph.node_count() as u32)
+        .filter(|&e| e != job_seeker)
+        .collect();
+
+    println!("\nranking {} potential employers by social distance from member {job_seeker}:", employers.len());
+    let mut ranked: Vec<(u32, Option<u32>)> = employers
+        .iter()
+        .map(|&employer| {
+            let distance = oracle
+                .distance(job_seeker, employer)
+                .exact_distance()
+                .or_else(|| oracle.landmark_estimate(job_seeker, employer));
+            (employer, distance)
+        })
+        .collect();
+    ranked.sort_by_key(|&(_, d)| d.unwrap_or(u32::MAX));
+
+    for (rank, (employer, distance)) in ranked.iter().enumerate() {
+        match distance {
+            Some(d) => println!("  #{:<2} member {:>7}  — {} introductions away", rank + 1, employer, d),
+            None => println!("  #{:<2} member {:>7}  — not reachable", rank + 1, employer),
+        }
+    }
+
+    // Show the actual chain of introductions to the closest employer.
+    if let Some(&(best, Some(_))) = ranked.first() {
+        match oracle.path_with_graph(graph, job_seeker, best) {
+            PathAnswer::Exact { path, distance, .. } => {
+                println!("\nintroduction chain to the closest employer ({distance} hops):");
+                for window in path.windows(2) {
+                    println!("  member {} introduces member {}", window[0], window[1]);
+                }
+            }
+            _ => println!("\nno stored path to the closest employer; a fallback search would be used"),
+        }
+    }
+}

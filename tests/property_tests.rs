@@ -1,0 +1,150 @@
+//! Property-based tests (proptest) on the invariants that hold for *every*
+//! graph, not just the social stand-ins: the oracle never reports a wrong
+//! distance, vicinity structure matches Definition 1, serialisation
+//! round-trips, and the graph substrate's builders and codecs are lossless.
+
+use proptest::prelude::*;
+
+use vicinity::baselines::bfs::BfsEngine;
+use vicinity::baselines::PointToPoint;
+use vicinity::core::config::{Alpha, TableBackend};
+use vicinity::core::{serialize, OracleBuilder};
+use vicinity::graph::algo::bfs::bfs_distances;
+use vicinity::graph::builder::GraphBuilder;
+use vicinity::graph::csr::CsrGraph;
+use vicinity::graph::io::{binary, edge_list};
+use vicinity::graph::INFINITY;
+
+/// Strategy: a random edge list over up to `max_nodes` nodes.
+fn arbitrary_graph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = CsrGraph> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 0..max_edges).prop_map(move |edges| {
+        let mut builder = GraphBuilder::with_node_count(max_nodes as usize);
+        for (u, v) in edges {
+            builder.add_edge(u, v);
+        }
+        builder.build_undirected()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the graph, whatever alpha: if the oracle answers, the answer
+    /// equals the BFS distance; if it says "unreachable", BFS agrees.
+    #[test]
+    fn oracle_never_lies(
+        graph in arbitrary_graph(60, 150),
+        alpha in 0.25f64..16.0,
+        seed in 0u64..1000,
+    ) {
+        let oracle = OracleBuilder::new(Alpha::new(alpha).unwrap()).seed(seed).build(&graph);
+        let mut bfs = BfsEngine::new(&graph);
+        let n = graph.node_count() as u32;
+        for s in (0..n).step_by(7) {
+            for t in (0..n).step_by(11) {
+                let reference = bfs.distance(s, t);
+                match oracle.distance(s, t) {
+                    vicinity::core::query::DistanceAnswer::Exact { distance, .. } => {
+                        prop_assert_eq!(Some(distance), reference);
+                    }
+                    vicinity::core::query::DistanceAnswer::Unreachable => {
+                        prop_assert_eq!(reference, None);
+                    }
+                    vicinity::core::query::DistanceAnswer::Miss => {}
+                }
+            }
+        }
+    }
+
+    /// Vicinity structure matches Definition 1: members are exactly the
+    /// nodes within the ball radius, the boundary is the subset with an
+    /// escaping edge, and stored distances are exact.
+    #[test]
+    fn vicinity_matches_definition(
+        graph in arbitrary_graph(50, 120),
+        seed in 0u64..1000,
+    ) {
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(seed).build(&graph);
+        for u in 0..graph.node_count() as u32 {
+            let vicinity = oracle.vicinity(u).unwrap();
+            let reference = bfs_distances(&graph, u);
+            if oracle.is_landmark(u) {
+                prop_assert!(vicinity.is_empty());
+                continue;
+            }
+            let radius = vicinity.radius();
+            for v in 0..graph.node_count() as u32 {
+                let in_vicinity = vicinity.contains(v);
+                let within = reference[v as usize] != INFINITY && reference[v as usize] <= radius;
+                prop_assert_eq!(in_vicinity, within, "node {} vs owner {}", v, u);
+                if in_vicinity {
+                    prop_assert_eq!(vicinity.distance_to(v), Some(reference[v as usize]));
+                }
+            }
+            for (member, _) in vicinity.boundary_iter() {
+                prop_assert!(graph.neighbors(member).iter().any(|&w| !vicinity.contains(w)));
+            }
+        }
+    }
+
+    /// Oracle serialisation round-trips on arbitrary graphs and backends.
+    #[test]
+    fn oracle_serialization_round_trips(
+        graph in arbitrary_graph(40, 100),
+        seed in 0u64..1000,
+        use_hash in any::<bool>(),
+    ) {
+        let backend = if use_hash { TableBackend::HashMap } else { TableBackend::SortedArray };
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(seed)
+            .backend(backend)
+            .build(&graph);
+        let decoded = serialize::decode(&serialize::encode(&oracle)).unwrap();
+        prop_assert_eq!(oracle, decoded);
+    }
+
+    /// Graph binary codec round-trips arbitrary graphs.
+    #[test]
+    fn graph_binary_round_trips(graph in arbitrary_graph(80, 300)) {
+        let decoded = binary::decode(&binary::encode(&graph)).unwrap();
+        prop_assert_eq!(graph, decoded);
+    }
+
+    /// Edge-list writer/parser round-trips arbitrary graphs (node count can
+    /// shrink because isolated nodes are not representable in an edge list).
+    #[test]
+    fn edge_list_round_trips(graph in arbitrary_graph(60, 200)) {
+        let mut text = Vec::new();
+        edge_list::write_edge_list(&graph, &mut text).unwrap();
+        let parsed = edge_list::parse_undirected(text.as_slice()).unwrap();
+        prop_assert_eq!(parsed.graph.edge_count(), graph.edge_count());
+        // Every written edge survives (modulo the id relabelling).
+        let mut original: Vec<(u64, u64)> = graph
+            .edges()
+            .map(|(u, v)| (u as u64, v as u64))
+            .collect();
+        let mut recovered: Vec<(u64, u64)> = parsed
+            .graph
+            .edges()
+            .map(|(u, v)| {
+                let a = parsed.original_ids[u as usize];
+                let b = parsed.original_ids[v as usize];
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        original.sort_unstable();
+        recovered.sort_unstable();
+        prop_assert_eq!(original, recovered);
+    }
+
+    /// The builder's cleanup is idempotent: rebuilding from the produced
+    /// edge set yields the same graph.
+    #[test]
+    fn builder_is_canonical(graph in arbitrary_graph(50, 200)) {
+        let mut rebuilt = GraphBuilder::with_node_count(graph.node_count());
+        for (u, v) in graph.edges() {
+            rebuilt.add_edge(u, v);
+        }
+        prop_assert_eq!(rebuilt.build_undirected(), graph);
+    }
+}
