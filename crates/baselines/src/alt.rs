@@ -223,10 +223,10 @@ mod tests {
     use super::*;
     use crate::bfs::BfsEngine;
     use crate::validate_path;
+    use rand::SeedableRng;
+    use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
-    use vicinity_graph::algo::sampling::random_pairs;
-    use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(seed)
@@ -244,7 +244,11 @@ mod tests {
             let mut alt = AltEngine::new(&g, 4, strategy, &mut rng(1));
             for s in [0u32, 14, 35] {
                 for t in g.nodes() {
-                    assert_eq!(alt.distance(s, t), bfs.distance(s, t), "{strategy:?} ({s},{t})");
+                    assert_eq!(
+                        alt.distance(s, t),
+                        bfs.distance(s, t),
+                        "{strategy:?} ({s},{t})"
+                    );
                 }
             }
         }
@@ -273,7 +277,10 @@ mod tests {
             alt_ops += alt.last_operations();
             bfs_ops += bfs.last_operations();
         }
-        assert!(alt_ops < bfs_ops, "ALT ({alt_ops}) should explore less than BFS ({bfs_ops})");
+        assert!(
+            alt_ops < bfs_ops,
+            "ALT ({alt_ops}) should explore less than BFS ({bfs_ops})"
+        );
     }
 
     #[test]

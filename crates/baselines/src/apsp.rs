@@ -75,13 +75,19 @@ pub struct ApspCostModel {
 impl ApspCostModel {
     /// Cost model with 4-byte entries (a `u32` distance).
     pub fn distances(nodes: usize) -> Self {
-        ApspCostModel { nodes, entry_bytes: std::mem::size_of::<Distance>() }
+        ApspCostModel {
+            nodes,
+            entry_bytes: std::mem::size_of::<Distance>(),
+        }
     }
 
     /// Cost model with 8 bytes per entry (distance + next hop, as needed for
     /// path retrieval).
     pub fn paths(nodes: usize) -> Self {
-        ApspCostModel { nodes, entry_bytes: 2 * std::mem::size_of::<Distance>() }
+        ApspCostModel {
+            nodes,
+            entry_bytes: 2 * std::mem::size_of::<Distance>(),
+        }
     }
 
     /// Number of entries (ordered pairs, excluding the diagonal).

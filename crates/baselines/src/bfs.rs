@@ -123,8 +123,8 @@ mod tests {
     use super::*;
     use crate::validate_path;
     use vicinity_graph::algo::bfs::bfs_distances;
-    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
     use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
 
     #[test]
     fn distances_on_grid_match_reference() {

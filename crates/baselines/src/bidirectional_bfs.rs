@@ -16,37 +16,63 @@ use vicinity_graph::{Distance, NodeId, INFINITY};
 
 use crate::{PathEngine, PointToPoint};
 
-/// Bidirectional BFS point-to-point engine over a borrowed graph.
-pub struct BidirectionalBfs<'g> {
-    graph: &'g CsrGraph,
+/// Reusable scratch state for bidirectional BFS, decoupled from any graph
+/// borrow.
+///
+/// The graph is passed to [`BidirBfsScratch::distance`] per call, so a
+/// long-lived owner (e.g. a server worker session holding the graph behind
+/// an `Arc`) can keep one scratch allocation alive across millions of
+/// queries without a self-referential borrow. All O(n) buffers — including
+/// the two frontier queues — are allocated once and recycled, so repeated
+/// queries perform no per-query allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BidirBfsScratch {
     stamp_fwd: Vec<u32>,
     stamp_bwd: Vec<u32>,
     dist_fwd: Vec<Distance>,
     dist_bwd: Vec<Distance>,
     parent_fwd: Vec<NodeId>,
     parent_bwd: Vec<NodeId>,
+    queue_fwd: VecDeque<NodeId>,
+    queue_bwd: VecDeque<NodeId>,
     current_stamp: u32,
     operations: u64,
     /// The node where the two searches met on the last successful query.
     last_meeting: Option<NodeId>,
 }
 
-impl<'g> BidirectionalBfs<'g> {
-    /// Create an engine for `graph`. Allocates O(n) scratch space once.
-    pub fn new(graph: &'g CsrGraph) -> Self {
-        let n = graph.node_count();
-        BidirectionalBfs {
-            graph,
-            stamp_fwd: vec![0; n],
-            stamp_bwd: vec![0; n],
-            dist_fwd: vec![0; n],
-            dist_bwd: vec![0; n],
-            parent_fwd: vec![0; n],
-            parent_bwd: vec![0; n],
-            current_stamp: 0,
-            operations: 0,
-            last_meeting: None,
+impl BidirBfsScratch {
+    /// Empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for a graph with `n` nodes.
+    pub fn with_node_capacity(n: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.ensure_capacity(n);
+        scratch
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.stamp_fwd.len() < n {
+            self.stamp_fwd.resize(n, 0);
+            self.stamp_bwd.resize(n, 0);
+            self.dist_fwd.resize(n, 0);
+            self.dist_bwd.resize(n, 0);
+            self.parent_fwd.resize(n, 0);
+            self.parent_bwd.resize(n, 0);
         }
+    }
+
+    /// Graph-exploration operations (queue pops) of the most recent call.
+    pub fn last_operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// The meeting node of the most recent successful search.
+    pub fn last_meeting(&self) -> Option<NodeId> {
+        self.last_meeting
     }
 
     fn bump_stamp(&mut self) -> u32 {
@@ -59,8 +85,11 @@ impl<'g> BidirectionalBfs<'g> {
         self.current_stamp
     }
 
-    fn search(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
-        let n = self.graph.node_count();
+    /// Exact distance between `s` and `t` in `graph`, or `None` when
+    /// unreachable (or either endpoint is out of range).
+    pub fn distance(&mut self, graph: &CsrGraph, s: NodeId, t: NodeId) -> Option<Distance> {
+        let n = graph.node_count();
+        self.ensure_capacity(n);
         self.operations = 0;
         self.last_meeting = None;
         if (s as usize) >= n || (t as usize) >= n {
@@ -72,46 +101,135 @@ impl<'g> BidirectionalBfs<'g> {
         }
         let stamp = self.bump_stamp();
 
-        let mut queue_fwd: VecDeque<NodeId> = VecDeque::new();
-        let mut queue_bwd: VecDeque<NodeId> = VecDeque::new();
+        self.queue_fwd.clear();
+        self.queue_bwd.clear();
         self.stamp_fwd[s as usize] = stamp;
         self.dist_fwd[s as usize] = 0;
         self.parent_fwd[s as usize] = s;
-        queue_fwd.push_back(s);
+        self.queue_fwd.push_back(s);
         self.stamp_bwd[t as usize] = stamp;
         self.dist_bwd[t as usize] = 0;
         self.parent_bwd[t as usize] = t;
-        queue_bwd.push_back(t);
+        self.queue_bwd.push_back(t);
 
+        self.run(graph, stamp, 0, 0, INFINITY, None)
+    }
+
+    /// Exact distance between two *seeded* search regions: a bidirectional
+    /// BFS whose sides start from precomputed distance balls instead of
+    /// single nodes.
+    ///
+    /// This is the natural fallback for a vicinity-oracle miss: the index
+    /// already holds the exact ball of each endpoint, so the search can
+    /// stamp the ball interiors for free and begin expansion at the ball
+    /// boundaries, skipping the first `fwd_radius` / `bwd_radius` levels of
+    /// re-exploration.
+    ///
+    /// Contract (the oracle guarantees all of this for a missed query):
+    ///
+    /// * `fwd_seeds` is the **complete** set of nodes within `fwd_radius`
+    ///   hops of the forward endpoint, with exact distances (and likewise
+    ///   for the backward side) — completeness is what makes the resumed
+    ///   BFS exact;
+    /// * node ids are in range for `graph`.
+    ///
+    /// Overlapping seed sets are handled (the overlap is treated as a set
+    /// of meeting candidates), though an oracle miss implies disjoint
+    /// balls. After a seeded search, [`BidirBfsScratch::last_meeting`]
+    /// reports the meeting node but paths cannot be reconstructed (seed
+    /// parents are unknown to the scratch).
+    pub fn distance_seeded<F, B>(
+        &mut self,
+        graph: &CsrGraph,
+        fwd_seeds: F,
+        fwd_radius: Distance,
+        bwd_seeds: B,
+        bwd_radius: Distance,
+    ) -> Option<Distance>
+    where
+        F: IntoIterator<Item = (NodeId, Distance)>,
+        B: IntoIterator<Item = (NodeId, Distance)>,
+    {
+        let n = graph.node_count();
+        self.ensure_capacity(n);
+        self.operations = 0;
+        self.last_meeting = None;
+        let stamp = self.bump_stamp();
+
+        self.queue_fwd.clear();
+        self.queue_bwd.clear();
+        // Stamp every seed; only the outermost shell needs to live in the
+        // queue, because an interior node's neighbours are all inside the
+        // ball already (distance <= radius - 1 implies every neighbour is
+        // within the radius). This keeps the resumed expansion's cost
+        // proportional to the boundary shell, not the whole ball.
+        for (node, distance) in fwd_seeds {
+            debug_assert!((node as usize) < n && distance <= fwd_radius);
+            self.stamp_fwd[node as usize] = stamp;
+            self.dist_fwd[node as usize] = distance;
+            self.parent_fwd[node as usize] = node;
+            if distance == fwd_radius {
+                self.queue_fwd.push_back(node);
+            }
+        }
         let mut best: Distance = INFINITY;
         let mut meeting: Option<NodeId> = None;
-        // Radii of the two searches (distance of the last fully expanded level).
-        let mut radius_fwd: Distance = 0;
-        let mut radius_bwd: Distance = 0;
+        for (node, distance) in bwd_seeds {
+            debug_assert!((node as usize) < n && distance <= bwd_radius);
+            self.stamp_bwd[node as usize] = stamp;
+            self.dist_bwd[node as usize] = distance;
+            self.parent_bwd[node as usize] = node;
+            if distance == bwd_radius {
+                self.queue_bwd.push_back(node);
+            }
+            if self.stamp_fwd[node as usize] == stamp {
+                let total = self.dist_fwd[node as usize] + distance;
+                if total < best {
+                    best = total;
+                    meeting = Some(node);
+                }
+            }
+        }
 
-        while !queue_fwd.is_empty() && !queue_bwd.is_empty() {
+        self.run(graph, stamp, fwd_radius, bwd_radius, best, meeting)
+    }
+
+    /// Level-synchronous bidirectional expansion over pre-seeded queues.
+    /// `radius_fwd` / `radius_bwd` are the distances through which each
+    /// side is already complete; `best` / `meeting` carry any meeting
+    /// already discovered during seeding.
+    fn run(
+        &mut self,
+        graph: &CsrGraph,
+        stamp: u32,
+        mut radius_fwd: Distance,
+        mut radius_bwd: Distance,
+        mut best: Distance,
+        mut meeting: Option<NodeId>,
+    ) -> Option<Distance> {
+        while !self.queue_fwd.is_empty() && !self.queue_bwd.is_empty() {
             // Termination: no undiscovered path can beat `best` once the
             // frontier radii sum to at least it.
             if best != INFINITY && radius_fwd + radius_bwd + 1 >= best {
                 break;
             }
             // Expand the smaller frontier by one full level.
-            let expand_forward = queue_fwd.len() <= queue_bwd.len();
+            let expand_forward = self.queue_fwd.len() <= self.queue_bwd.len();
             if expand_forward {
-                let level = self.dist_fwd[*queue_fwd.front().expect("non-empty") as usize];
-                while let Some(&u) = queue_fwd.front() {
+                let level = self.dist_fwd[*self.queue_fwd.front().expect("non-empty") as usize];
+                while let Some(&u) = self.queue_fwd.front() {
                     if self.dist_fwd[u as usize] != level {
                         break;
                     }
-                    queue_fwd.pop_front();
+                    self.queue_fwd.pop_front();
                     self.operations += 1;
                     let du = self.dist_fwd[u as usize];
-                    for &v in self.graph.neighbors(u) {
+                    for &v in graph.neighbors(u) {
                         if self.stamp_fwd[v as usize] != stamp {
                             self.stamp_fwd[v as usize] = stamp;
                             self.dist_fwd[v as usize] = du + 1;
                             self.parent_fwd[v as usize] = u;
-                            queue_fwd.push_back(v);
+                            self.queue_fwd.push_back(v);
                             if self.stamp_bwd[v as usize] == stamp {
                                 let total = du + 1 + self.dist_bwd[v as usize];
                                 if total < best {
@@ -124,20 +242,20 @@ impl<'g> BidirectionalBfs<'g> {
                 }
                 radius_fwd = level + 1;
             } else {
-                let level = self.dist_bwd[*queue_bwd.front().expect("non-empty") as usize];
-                while let Some(&u) = queue_bwd.front() {
+                let level = self.dist_bwd[*self.queue_bwd.front().expect("non-empty") as usize];
+                while let Some(&u) = self.queue_bwd.front() {
                     if self.dist_bwd[u as usize] != level {
                         break;
                     }
-                    queue_bwd.pop_front();
+                    self.queue_bwd.pop_front();
                     self.operations += 1;
                     let du = self.dist_bwd[u as usize];
-                    for &v in self.graph.neighbors(u) {
+                    for &v in graph.neighbors(u) {
                         if self.stamp_bwd[v as usize] != stamp {
                             self.stamp_bwd[v as usize] = stamp;
                             self.dist_bwd[v as usize] = du + 1;
                             self.parent_bwd[v as usize] = u;
-                            queue_bwd.push_back(v);
+                            self.queue_bwd.push_back(v);
                             if self.stamp_fwd[v as usize] == stamp {
                                 let total = du + 1 + self.dist_fwd[v as usize];
                                 if total < best {
@@ -160,6 +278,19 @@ impl<'g> BidirectionalBfs<'g> {
         }
     }
 
+    /// Shortest path between `s` and `t`, or `None` when unreachable. Runs
+    /// a fresh search so the parent arrays are in scope for reconstruction.
+    pub fn path(&mut self, graph: &CsrGraph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        self.distance(graph, s, t)?;
+        if s == t {
+            return Some(vec![s]);
+        }
+        let meeting = self
+            .last_meeting
+            .expect("successful search records a meeting node");
+        Some(self.reconstruct(s, t, meeting))
+    }
+
     fn reconstruct(&self, s: NodeId, t: NodeId, meeting: NodeId) -> Vec<NodeId> {
         // Forward half: meeting -> s, reversed.
         let mut forward = vec![meeting];
@@ -179,9 +310,27 @@ impl<'g> BidirectionalBfs<'g> {
     }
 }
 
+/// Bidirectional BFS point-to-point engine over a borrowed graph — a thin
+/// wrapper binding a [`BidirBfsScratch`] to one graph so it can implement
+/// the [`PointToPoint`] / [`PathEngine`] traits.
+pub struct BidirectionalBfs<'g> {
+    graph: &'g CsrGraph,
+    scratch: BidirBfsScratch,
+}
+
+impl<'g> BidirectionalBfs<'g> {
+    /// Create an engine for `graph`. Allocates O(n) scratch space once.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        BidirectionalBfs {
+            graph,
+            scratch: BidirBfsScratch::with_node_capacity(graph.node_count()),
+        }
+    }
+}
+
 impl PointToPoint for BidirectionalBfs<'_> {
     fn distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
-        self.search(s, t)
+        self.scratch.distance(self.graph, s, t)
     }
 
     fn name(&self) -> &'static str {
@@ -189,18 +338,13 @@ impl PointToPoint for BidirectionalBfs<'_> {
     }
 
     fn last_operations(&self) -> u64 {
-        self.operations
+        self.scratch.last_operations()
     }
 }
 
 impl PathEngine for BidirectionalBfs<'_> {
     fn path(&mut self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
-        self.search(s, t)?;
-        if s == t {
-            return Some(vec![s]);
-        }
-        let meeting = self.last_meeting.expect("successful search records a meeting node");
-        Some(self.reconstruct(s, t, meeting))
+        self.scratch.path(self.graph, s, t)
     }
 }
 
@@ -209,14 +353,18 @@ mod tests {
     use super::*;
     use crate::bfs::BfsEngine;
     use crate::validate_path;
+    use rand::SeedableRng;
+    use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
-    use vicinity_graph::algo::sampling::random_pairs;
-    use rand::SeedableRng;
 
     #[test]
     fn matches_bfs_on_classic_graphs() {
-        for g in [classic::grid(7, 5), classic::cycle(11), classic::binary_tree(5)] {
+        for g in [
+            classic::grid(7, 5),
+            classic::cycle(11),
+            classic::binary_tree(5),
+        ] {
             let mut bi = BidirectionalBfs::new(&g);
             let mut uni = BfsEngine::new(&g);
             for s in g.nodes() {
@@ -265,7 +413,10 @@ mod tests {
             bi_ops += bi.last_operations();
             uni_ops += uni.last_operations();
         }
-        assert!(bi_ops < uni_ops, "bidirectional ({bi_ops}) should beat unidirectional ({uni_ops})");
+        assert!(
+            bi_ops < uni_ops,
+            "bidirectional ({bi_ops}) should beat unidirectional ({uni_ops})"
+        );
     }
 
     #[test]
@@ -296,10 +447,66 @@ mod tests {
     }
 
     #[test]
+    fn seeded_search_matches_plain_search() {
+        use vicinity_graph::algo::bfs::bounded_bfs;
+        let g = SocialGraphConfig::small_test().generate(12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut scratch = BidirBfsScratch::new();
+        let mut reference = BidirBfsScratch::new();
+        for (radius_s, radius_t) in [(0u32, 0u32), (1, 1), (2, 1), (2, 2)] {
+            for (s, t) in random_pairs(&g, 60, &mut rng) {
+                let ball_s: Vec<(u32, u32)> = bounded_bfs(&g, s, radius_s)
+                    .iter()
+                    .map(|v| (v.node, v.distance))
+                    .collect();
+                let ball_t: Vec<(u32, u32)> = bounded_bfs(&g, t, radius_t)
+                    .iter()
+                    .map(|v| (v.node, v.distance))
+                    .collect();
+                let seeded = scratch.distance_seeded(&g, ball_s, radius_s, ball_t, radius_t);
+                let plain = reference.distance(&g, s, t);
+                assert_eq!(
+                    seeded, plain,
+                    "pair ({s},{t}) radii ({radius_s},{radius_t})"
+                );
+            }
+        }
+        // Disconnected seeded regions report unreachable.
+        let mut b = GraphBuilder::with_node_count(6);
+        b.add_edge(0, 1);
+        b.add_edge(3, 4);
+        let g2 = b.build_undirected();
+        let seeded = scratch.distance_seeded(
+            &g2,
+            vec![(0u32, 0u32), (1, 1)],
+            1,
+            vec![(3u32, 0u32), (4, 1)],
+            1,
+        );
+        assert_eq!(seeded, None);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_graphs() {
+        // One scratch allocation serves graphs of different sizes in turn,
+        // growing its buffers as needed — the usage pattern of a server
+        // worker session that outlives any single graph borrow.
+        let small = classic::path(5);
+        let large = classic::grid(12, 12);
+        let mut scratch = BidirBfsScratch::new();
+        assert_eq!(scratch.distance(&small, 0, 4), Some(4));
+        assert_eq!(scratch.distance(&large, 0, 143), Some(22));
+        assert_eq!(scratch.distance(&small, 4, 0), Some(4));
+        assert!(scratch.last_meeting().is_some());
+        let p = scratch.path(&large, 0, 143).unwrap();
+        assert_eq!(validate_path(&large, 0, 143, &p), Some(22));
+    }
+
+    #[test]
     fn stamp_wraparound_is_handled() {
         let g = classic::path(4);
         let mut bi = BidirectionalBfs::new(&g);
-        bi.current_stamp = u32::MAX - 1;
+        bi.scratch.current_stamp = u32::MAX - 1;
         assert_eq!(bi.distance(0, 3), Some(3));
         assert_eq!(bi.distance(0, 3), Some(3));
         assert_eq!(bi.distance(3, 0), Some(3));

@@ -78,8 +78,14 @@ impl<'g> BidirectionalDijkstra<'g> {
         let mut meeting = None;
 
         loop {
-            let top_fwd = heap_fwd.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
-            let top_bwd = heap_bwd.peek().map(|Reverse((d, _))| *d).unwrap_or(INFINITY);
+            let top_fwd = heap_fwd
+                .peek()
+                .map(|Reverse((d, _))| *d)
+                .unwrap_or(INFINITY);
+            let top_bwd = heap_bwd
+                .peek()
+                .map(|Reverse((d, _))| *d)
+                .unwrap_or(INFINITY);
             if top_fwd == INFINITY && top_bwd == INFINITY {
                 break;
             }
@@ -89,11 +95,23 @@ impl<'g> BidirectionalDijkstra<'g> {
             // Expand from the side with the smaller next key.
             let forward = top_fwd <= top_bwd;
             let (heap, dist, other_dist, parent) = if forward {
-                (&mut heap_fwd, &mut self.dist_fwd, &self.dist_bwd, &mut self.parent_fwd)
+                (
+                    &mut heap_fwd,
+                    &mut self.dist_fwd,
+                    &self.dist_bwd,
+                    &mut self.parent_fwd,
+                )
             } else {
-                (&mut heap_bwd, &mut self.dist_bwd, &self.dist_fwd, &mut self.parent_bwd)
+                (
+                    &mut heap_bwd,
+                    &mut self.dist_bwd,
+                    &self.dist_fwd,
+                    &mut self.parent_bwd,
+                )
             };
-            let Some(Reverse((d, u))) = heap.pop() else { break };
+            let Some(Reverse((d, u))) = heap.pop() else {
+                break;
+            };
             if d > dist[u as usize] {
                 continue;
             }
@@ -147,7 +165,9 @@ impl PathEngine for BidirectionalDijkstra<'_> {
         if s == t {
             return Some(vec![s]);
         }
-        let meeting = self.last_meeting.expect("successful search records meeting node");
+        let meeting = self
+            .last_meeting
+            .expect("successful search records meeting node");
         let mut path = vec![meeting];
         let mut cur = meeting;
         while cur != s {
@@ -168,11 +188,11 @@ impl PathEngine for BidirectionalDijkstra<'_> {
 mod tests {
     use super::*;
     use crate::dijkstra::Dijkstra;
+    use rand::{Rng, SeedableRng};
+    use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
     use vicinity_graph::weighted::WeightedCsrGraph;
-    use vicinity_graph::algo::sampling::random_pairs;
-    use rand::{Rng, SeedableRng};
 
     #[test]
     fn matches_unidirectional_dijkstra_unit_weights() {

@@ -59,7 +59,11 @@ impl LandmarkEstimator {
             }
         };
         let tables = landmarks.iter().map(|&l| bfs_distances(graph, l)).collect();
-        LandmarkEstimator { tables, landmarks, operations: 0 }
+        LandmarkEstimator {
+            tables,
+            landmarks,
+            operations: 0,
+        }
     }
 
     /// The selected landmarks.
@@ -69,7 +73,10 @@ impl LandmarkEstimator {
 
     /// Memory used by the landmark tables, in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.tables.iter().map(|t| t.len() * std::mem::size_of::<Distance>()).sum()
+        self.tables
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<Distance>())
+            .sum()
     }
 
     /// Upper-bound estimate `min_L d(s,L) + d(L,t)`, or `None` when no
@@ -131,10 +138,10 @@ impl PointToPoint for LandmarkEstimator {
 mod tests {
     use super::*;
     use crate::bfs::BfsEngine;
+    use rand::SeedableRng;
+    use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
-    use vicinity_graph::algo::sampling::random_pairs;
-    use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
         rand::rngs::StdRng::seed_from_u64(seed)
@@ -143,8 +150,12 @@ mod tests {
     #[test]
     fn estimates_bracket_the_true_distance() {
         let g = SocialGraphConfig::small_test().generate(41);
-        let mut est =
-            LandmarkEstimator::new(&g, 16, EstimatorLandmarkStrategy::HighestDegree, &mut rng(1));
+        let mut est = LandmarkEstimator::new(
+            &g,
+            16,
+            EstimatorLandmarkStrategy::HighestDegree,
+            &mut rng(1),
+        );
         let mut bfs = BfsEngine::new(&g);
         for (s, t) in random_pairs(&g, 200, &mut rng(2)) {
             let exact = bfs.distance(s, t).expect("connected stand-in");
@@ -198,8 +209,7 @@ mod tests {
         let mut b = GraphBuilder::with_node_count(4);
         b.add_edge(0, 1);
         let g = b.build_undirected();
-        let mut est =
-            LandmarkEstimator::new(&g, 2, EstimatorLandmarkStrategy::Random, &mut rng(5));
+        let mut est = LandmarkEstimator::new(&g, 2, EstimatorLandmarkStrategy::Random, &mut rng(5));
         assert_eq!(est.distance(3, 3), Some(0));
         // Node 2/3 are isolated: no landmark reaches both endpoints unless
         // the landmark *is* the endpoint; either way bounds are None or huge.

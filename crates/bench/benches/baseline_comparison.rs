@@ -22,12 +22,18 @@ fn baseline_comparison(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let pairs = random_pairs(graph, 256, &mut rng);
 
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(2012)
+        .build(graph);
     let mut bfs = BfsEngine::new(graph);
     let mut bidir = BidirectionalBfs::new(graph);
     let mut alt = AltEngine::new(graph, 8, AltLandmarkStrategy::HighestDegree, &mut rng);
-    let mut estimator =
-        LandmarkEstimator::new(graph, 16, EstimatorLandmarkStrategy::HighestDegree, &mut rng);
+    let mut estimator = LandmarkEstimator::new(
+        graph,
+        16,
+        EstimatorLandmarkStrategy::HighestDegree,
+        &mut rng,
+    );
 
     let mut group = c.benchmark_group("baseline_comparison");
     group.sample_size(10);
@@ -64,14 +70,17 @@ fn baseline_comparison(c: &mut Criterion) {
             std::hint::black_box(alt.distance(s, t))
         });
     });
-    group.bench_function(BenchmarkId::new("landmark_estimation", &dataset.name), |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            let (s, t) = pairs[i % pairs.len()];
-            i += 1;
-            std::hint::black_box(estimator.distance(s, t))
-        });
-    });
+    group.bench_function(
+        BenchmarkId::new("landmark_estimation", &dataset.name),
+        |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(estimator.distance(s, t))
+            });
+        },
+    );
     group.finish();
 }
 

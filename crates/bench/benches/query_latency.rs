@@ -59,7 +59,9 @@ fn query_latency(c: &mut Criterion) {
         }
 
         // Landmark-estimate fallback latency (approximate answers).
-        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(graph);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(2012)
+            .build(graph);
         group.bench_function(BenchmarkId::new("landmark_estimate", &dataset.name), |b| {
             let mut i = 0usize;
             b.iter(|| {

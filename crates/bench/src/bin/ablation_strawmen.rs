@@ -24,14 +24,24 @@ use vicinity_graph::algo::sampling::random_pairs;
 
 fn main() {
     let env = ExperimentEnv::from_env();
-    print_header("Ablation: strawman vicinity definitions (Section 2.1)", &env);
+    print_header(
+        "Ablation: strawman vicinity definitions (Section 2.1)",
+        &env,
+    );
 
     let dataset = Dataset::stand_in(StandIn::Dblp, env.scale);
     let graph = &dataset.graph;
     let n = graph.node_count();
-    println!("dataset: {} (n = {}, m = {})\n", dataset.name, n, graph.edge_count());
+    println!(
+        "dataset: {} (n = {}, m = {})\n",
+        dataset.name,
+        n,
+        graph.edge_count()
+    );
 
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(2012)
+        .build(graph);
     let paper_avg_size = oracle.average_vicinity_size();
     let k = paper_avg_size.round().max(2.0) as usize;
 
@@ -80,7 +90,10 @@ fn main() {
     println!("paper definition (alpha = 4):");
     println!("  average vicinity size          {paper_avg_size:>10.1}");
     println!("  max vicinity size (sampled)    {paper_max:>10}");
-    println!("  average vicinity radius        {:>10.2}", oracle.average_vicinity_radius());
+    println!(
+        "  average vicinity radius        {:>10.2}",
+        oracle.average_vicinity_radius()
+    );
     println!();
     println!("strawman 1 — fixed size (k = {k}):");
     println!("  pairs with intersection        {fixed_size_answered:>10}");

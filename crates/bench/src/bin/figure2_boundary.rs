@@ -12,10 +12,18 @@ fn main() {
 
     const CDF_POINTS: usize = 10;
     for dataset in env.datasets() {
-        let (oracle, build_time) =
-            timed(|| OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(&dataset.graph));
+        let (oracle, build_time) = timed(|| {
+            OracleBuilder::new(Alpha::PAPER_DEFAULT)
+                .seed(2012)
+                .build(&dataset.graph)
+        });
         let cdf = boundary_cdf(&oracle, CDF_POINTS);
-        println!("{} (n = {}, built in {:.1?})", dataset.name, dataset.node_count(), build_time);
+        println!(
+            "{} (n = {}, built in {:.1?})",
+            dataset.name,
+            dataset.node_count(),
+            build_time
+        );
         println!("{:>12} {:>22}", "CDF", "boundary size / n");
         for (fraction, quantile) in cdf {
             println!("{:>11.0}% {:>21.4}%", quantile * 100.0, fraction * 100.0);

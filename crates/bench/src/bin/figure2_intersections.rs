@@ -11,10 +11,16 @@ use vicinity_core::stats::{intersection_experiment, ExperimentWorkload};
 
 fn main() {
     let env = ExperimentEnv::from_env();
-    print_header("Figure 2 (left): fraction of vicinity intersections vs alpha", &env);
+    print_header(
+        "Figure 2 (left): fraction of vicinity intersections vs alpha",
+        &env,
+    );
 
-    let workload =
-        ExperimentWorkload { sample_nodes: env.sample_nodes, runs: env.runs, seed: 2012 };
+    let workload = ExperimentWorkload {
+        sample_nodes: env.sample_nodes,
+        runs: env.runs,
+        seed: 2012,
+    };
     println!(
         "{:<14} {:>8} {:>10} {:>14} {:>16} {:>12}",
         "Topology", "alpha", "answered", "via intersect", "avg |vicinity|", "pairs"

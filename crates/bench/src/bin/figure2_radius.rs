@@ -8,11 +8,13 @@ fn main() {
     let env = ExperimentEnv::from_env();
     print_header("Figure 2 (right): average vicinity radius vs alpha", &env);
 
-    println!("{:<14} {:>8} {:>14} {:>12}", "Topology", "alpha", "avg radius", "max radius");
+    println!(
+        "{:<14} {:>8} {:>14} {:>12}",
+        "Topology", "alpha", "avg radius", "max radius"
+    );
     for dataset in env.datasets() {
         let ((), elapsed) = timed(|| {
-            let points =
-                radius_experiment(&dataset.graph, &env.alphas, &OracleConfig::default());
+            let points = radius_experiment(&dataset.graph, &env.alphas, &OracleConfig::default());
             for p in points {
                 println!(
                     "{:<14} {:>8} {:>14.2} {:>12}",

@@ -14,15 +14,27 @@ use vicinity_core::OracleBuilder;
 
 fn main() {
     let env = ExperimentEnv::from_env();
-    print_header("Memory comparison vs all-pair shortest paths (alpha = 4)", &env);
+    print_header(
+        "Memory comparison vs all-pair shortest paths (alpha = 4)",
+        &env,
+    );
 
     println!(
         "{:<14} {:>10} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "Dataset", "nodes", "vic entries", "entries/node", "APSP entries", "savings", "model sqrt(n)/4"
+        "Dataset",
+        "nodes",
+        "vic entries",
+        "entries/node",
+        "APSP entries",
+        "savings",
+        "model sqrt(n)/4"
     );
     for dataset in env.datasets() {
-        let (oracle, build_time) =
-            timed(|| OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(&dataset.graph));
+        let (oracle, build_time) = timed(|| {
+            OracleBuilder::new(Alpha::PAPER_DEFAULT)
+                .seed(2012)
+                .build(&dataset.graph)
+        });
         let report = MemoryReport::measure(&oracle);
         println!(
             "{:<14} {:>10} {:>14} {:>14.1} {:>14} {:>11.0}x {:>12.0}x",
@@ -41,7 +53,10 @@ fn main() {
     println!();
     println!("Extrapolation to the paper's full-size datasets (model: 4*sqrt(n) entries/node,");
     println!("n(n-1) APSP entries, i.e. savings factor sqrt(n)/4):");
-    println!("{:<14} {:>12} {:>18} {:>22} {:>10}", "Dataset", "nodes", "oracle entries", "APSP entries", "savings");
+    println!(
+        "{:<14} {:>12} {:>18} {:>22} {:>10}",
+        "Dataset", "nodes", "oracle entries", "APSP entries", "savings"
+    );
     for stand_in in vicinity_datasets::registry::StandIn::all() {
         let n = (stand_in.paper_nodes_millions() * 1e6) as usize;
         let per_node = 4.0 * (n as f64).sqrt();
@@ -62,5 +77,8 @@ fn main() {
 }
 
 fn indent(text: &str, prefix: &str) -> String {
-    text.lines().map(|l| format!("{prefix}{l}")).collect::<Vec<_>>().join("\n")
+    text.lines()
+        .map(|l| format!("{prefix}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

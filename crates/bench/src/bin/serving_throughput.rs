@@ -1,0 +1,88 @@
+//! Serving-throughput experiment: `QueryService` batch throughput and
+//! latency percentiles across thread counts and cache configurations, on
+//! each stand-in dataset.
+//!
+//! This is the serving-layer companion of `table3_query_time`: instead of
+//! single-threaded per-query latency, it measures what one machine
+//! sustains when the immutable index is shared by several workers
+//! (ROADMAP: "serves heavy traffic from millions of users").
+//!
+//! Honours `VICINITY_SCALE`, `VICINITY_DATASETS` and
+//! `VICINITY_SERVE_QUERIES` (default 100000 queries per configuration).
+
+use rand::SeedableRng;
+
+use vicinity_bench::{print_header, timed, ExperimentEnv};
+use vicinity_core::config::Alpha;
+use vicinity_core::OracleBuilder;
+use vicinity_graph::algo::sampling::random_pairs;
+use vicinity_server::QueryService;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    print_header("serving throughput (QueryService)", &env);
+
+    let queries: usize = std::env::var("VICINITY_SERVE_QUERIES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(100_000);
+
+    println!(
+        "{:<12} {:>8} {:>7} {:>9} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "dataset",
+        "threads",
+        "cache",
+        "queries",
+        "throughput",
+        "p50",
+        "p99",
+        "fallback",
+        "cachehit"
+    );
+
+    for dataset in env.datasets() {
+        let graph = dataset.graph.clone();
+        let (oracle, build_time) = timed(|| {
+            OracleBuilder::new(Alpha::PAPER_DEFAULT)
+                .seed(2012)
+                .store_paths(false)
+                .build(&graph)
+        });
+        println!(
+            "# {}: {} nodes, {} edges, index built in {:.1?}",
+            dataset.name,
+            graph.node_count(),
+            graph.edge_count(),
+            build_time
+        );
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let pairs = random_pairs(&graph, queries, &mut rng);
+
+        for threads in [1usize, 4] {
+            for cache_capacity in [0usize, 1 << 16] {
+                let service = QueryService::builder(oracle.clone(), graph.clone())
+                    .threads(threads)
+                    .cache_capacity(cache_capacity)
+                    .build()
+                    .expect("oracle and graph agree");
+                let answers = service.serve_batch(&pairs);
+                assert_eq!(answers.len(), pairs.len());
+                let stats = service.stats();
+                println!(
+                    "{:<12} {:>8} {:>7} {:>9} {:>9.0}q/s {:>10.2?} {:>10.2?} {:>8.2}% {:>8.2}%",
+                    dataset.name,
+                    threads,
+                    cache_capacity,
+                    stats.queries,
+                    stats.throughput_qps(),
+                    stats.latency.percentile(50.0),
+                    stats.latency.percentile(99.0),
+                    stats.fallback_rate() * 100.0,
+                    stats.cache_hit_rate() * 100.0,
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -17,7 +17,13 @@ fn main() {
 
     println!(
         "{:<14} {:>10} {:>12} {:>12}   {:>12} {:>12} {:>12}",
-        "Topology", "# Nodes", "# Directed", "# Undirected", "paper nodes", "paper dir.", "paper undir."
+        "Topology",
+        "# Nodes",
+        "# Directed",
+        "# Undirected",
+        "paper nodes",
+        "paper dir.",
+        "paper undir."
     );
     println!(
         "{:<14} {:>10} {:>12} {:>12}   {:>12} {:>12} {:>12}",
@@ -34,9 +40,18 @@ fn main() {
             props.nodes,
             props.directed_links,
             props.undirected_edges,
-            paper.map_or("-".to_string(), |p| format!("{:.2}", p.paper_nodes_millions())),
-            paper.map_or("-".to_string(), |p| format!("{:.2}", p.paper_directed_links_millions())),
-            paper.map_or("-".to_string(), |p| format!("{:.2}", p.paper_undirected_links_millions())),
+            paper.map_or("-".to_string(), |p| format!(
+                "{:.2}",
+                p.paper_nodes_millions()
+            )),
+            paper.map_or("-".to_string(), |p| format!(
+                "{:.2}",
+                p.paper_directed_links_millions()
+            )),
+            paper.map_or("-".to_string(), |p| format!(
+                "{:.2}",
+                p.paper_undirected_links_millions()
+            )),
         );
         details.push((dataset.name.clone(), props));
     }
@@ -54,7 +69,8 @@ fn main() {
             p.max_degree,
             p.clustering,
             p.diameter_estimate,
-            p.power_law_exponent.map_or("-".to_string(), |g| format!("{g:.2}")),
+            p.power_law_exponent
+                .map_or("-".to_string(), |g| format!("{g:.2}")),
         );
     }
     println!();

@@ -36,11 +36,13 @@ fn main() {
 
     for dataset in env.datasets() {
         let graph = &dataset.graph;
-        let (oracle, build_time) =
-            timed(|| OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(graph));
+        let (oracle, build_time) = timed(|| {
+            OracleBuilder::new(Alpha::PAPER_DEFAULT)
+                .seed(2012)
+                .build(graph)
+        });
 
-        let workload =
-            PairWorkload::paper_sampling(graph, env.sample_nodes, env.runs, 2012);
+        let workload = PairWorkload::paper_sampling(graph, env.sample_nodes, env.runs, 2012);
 
         // Oracle pass: time every query individually, record look-ups.
         let mut lookups_total = 0u64;
@@ -78,7 +80,11 @@ fn main() {
         }
         let bfs_ms = mean_ms(&bfs_times);
         let bidir_ms = mean_ms(&bidir_times);
-        let speedup = if ours_ms > 0.0 { bidir_ms / ours_ms } else { 0.0 };
+        let speedup = if ours_ms > 0.0 {
+            bidir_ms / ours_ms
+        } else {
+            0.0
+        };
         let paper = dataset.stand_in.map(|s| s.paper_table3());
 
         println!(

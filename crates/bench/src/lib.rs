@@ -74,7 +74,10 @@ pub fn default_sweep() -> Vec<Alpha> {
 impl ExperimentEnv {
     /// Read the configuration from the environment.
     pub fn from_env() -> Self {
-        let mut env = ExperimentEnv { scale: Scale::from_env(), ..Default::default() };
+        let mut env = ExperimentEnv {
+            scale: Scale::from_env(),
+            ..Default::default()
+        };
         if let Ok(alphas) = std::env::var("VICINITY_ALPHAS") {
             let parsed: Vec<Alpha> = alphas
                 .split(',')
@@ -105,7 +108,9 @@ impl ExperimentEnv {
                 .split(',')
                 .filter_map(|name| {
                     let name = name.trim().to_lowercase();
-                    StandIn::all().into_iter().find(|s| s.name().to_lowercase() == name)
+                    StandIn::all()
+                        .into_iter()
+                        .find(|s| s.name().to_lowercase() == name)
                 })
                 .collect();
             if !selected.is_empty() {
@@ -117,7 +122,10 @@ impl ExperimentEnv {
 
     /// Load (or generate) the selected datasets at the configured scale.
     pub fn datasets(&self) -> Vec<Dataset> {
-        self.datasets.iter().map(|&s| Dataset::stand_in(s, self.scale)).collect()
+        self.datasets
+            .iter()
+            .map(|&s| Dataset::stand_in(s, self.scale))
+            .collect()
     }
 }
 
@@ -153,7 +161,11 @@ pub fn print_header(title: &str, env: &ExperimentEnv) {
     println!(
         "scale={} datasets=[{}] sample_nodes={} runs={}",
         env.scale.name(),
-        env.datasets.iter().map(|d| d.name()).collect::<Vec<_>>().join(", "),
+        env.datasets
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+            .join(", "),
         env.sample_nodes,
         env.runs
     );
@@ -190,7 +202,10 @@ mod tests {
         std::env::set_var("VICINITY_BASELINE_PAIRS", "123");
         std::env::set_var("VICINITY_DATASETS", "dblp, orkut");
         let env = ExperimentEnv::from_env();
-        assert_eq!(env.alphas.iter().map(|a| a.value()).collect::<Vec<_>>(), vec![2.0, 8.0]);
+        assert_eq!(
+            env.alphas.iter().map(|a| a.value()).collect::<Vec<_>>(),
+            vec![2.0, 8.0]
+        );
         assert_eq!(env.sample_nodes, 55);
         assert_eq!(env.runs, 7);
         assert_eq!(env.baseline_pairs, 123);
@@ -211,8 +226,11 @@ mod tests {
         let (value, elapsed) = timed(|| 41 + 1);
         assert_eq!(value, 42);
         assert!(elapsed.as_secs() < 5);
-        let samples =
-            vec![Duration::from_millis(1), Duration::from_millis(3), Duration::from_millis(2)];
+        let samples = vec![
+            Duration::from_millis(1),
+            Duration::from_millis(3),
+            Duration::from_millis(2),
+        ];
         assert!((mean_ms(&samples) - 2.0).abs() < 1e-9);
         assert!((percentile_ms(&samples, 100.0) - 3.0).abs() < 1e-9);
         assert!((percentile_ms(&samples, 0.0) - 1.0).abs() < 1e-9);

@@ -63,12 +63,16 @@ impl FixedSizeVicinity {
     /// (minimum-sum) estimate of `d(owner, other.owner)` — which, unlike the
     /// paper's definition, is **not guaranteed to be the exact distance**.
     pub fn intersect(&self, other: &FixedSizeVicinity) -> Option<Distance> {
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut best: Option<Distance> = None;
         for (&w, &d1) in &small.distances {
             if let Some(d2) = large.distance_to(w) {
                 let total = d1 + d2;
-                if best.map_or(true, |b| total < b) {
+                if best.is_none_or(|b| total < b) {
                     best = Some(total);
                 }
             }
@@ -91,7 +95,11 @@ impl FixedRadiusVicinity {
     pub fn build(graph: &CsrGraph, owner: NodeId, radius: Distance) -> Self {
         let visited = bounded_bfs(graph, owner, radius);
         let distances = visited.iter().map(|v| (v.node, v.distance)).collect();
-        FixedRadiusVicinity { owner, radius, distances }
+        FixedRadiusVicinity {
+            owner,
+            radius,
+            distances,
+        }
     }
 
     /// The owning node.
@@ -124,12 +132,16 @@ impl FixedRadiusVicinity {
     /// exact whenever the balls intersect (this matches the correctness part
     /// of the paper's argument; the problem is the size, not correctness).
     pub fn intersect(&self, other: &FixedRadiusVicinity) -> Option<Distance> {
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut best: Option<Distance> = None;
         for (&w, &d1) in &small.distances {
             if let Some(d2) = large.distance_to(w) {
                 let total = d1 + d2;
-                if best.map_or(true, |b| total < b) {
+                if best.is_none_or(|b| total < b) {
                     best = Some(total);
                 }
             }
@@ -249,7 +261,11 @@ mod tests {
         // entire graph; the paper's construction would stop at the hub.
         let g = classic::star(500);
         let v = FixedRadiusVicinity::build(&g, 1, 2);
-        assert_eq!(v.len(), 501, "fixed-radius vicinity swallows the whole star");
+        assert_eq!(
+            v.len(),
+            501,
+            "fixed-radius vicinity swallows the whole star"
+        );
         assert_eq!(v.distance_to(0), Some(1));
         assert_eq!(v.distance_to(499), Some(2));
     }
@@ -264,6 +280,10 @@ mod tests {
         assert!(v.is_empty());
         let a = FixedSizeVicinity::build(&g, 0, 1);
         let b = FixedSizeVicinity::build(&g, 2, 1);
-        assert_eq!(a.intersect(&b), None, "k=1 vicinities of distant nodes do not intersect");
+        assert_eq!(
+            a.intersect(&b),
+            None,
+            "k=1 vicinities of distant nodes do not intersect"
+        );
     }
 }

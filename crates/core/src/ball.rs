@@ -26,7 +26,10 @@ impl BallRadii {
     /// Compute the nearest landmark and ball radius of every node.
     pub fn compute(graph: &CsrGraph, landmarks: &LandmarkSet) -> Self {
         let result = multi_source_bfs(graph, landmarks.nodes());
-        BallRadii { radius: result.distances, nearest: result.nearest_source }
+        BallRadii {
+            radius: result.distances,
+            nearest: result.nearest_source,
+        }
     }
 
     /// Ball radius of `u` (`d(u, ℓ(u))`), or `None` when no landmark is
@@ -49,8 +52,12 @@ impl BallRadii {
     /// Average finite ball radius — the quantity plotted (per α) in
     /// Figure 2 (right) of the paper ("vicinity radius").
     pub fn average_radius(&self) -> f64 {
-        let finite: Vec<Distance> =
-            self.radius.iter().copied().filter(|&d| d != INFINITY).collect();
+        let finite: Vec<Distance> = self
+            .radius
+            .iter()
+            .copied()
+            .filter(|&d| d != INFINITY)
+            .collect();
         if finite.is_empty() {
             return 0.0;
         }
@@ -59,7 +66,12 @@ impl BallRadii {
 
     /// Maximum finite ball radius.
     pub fn max_radius(&self) -> Distance {
-        self.radius.iter().copied().filter(|&d| d != INFINITY).max().unwrap_or(0)
+        self.radius
+            .iter()
+            .copied()
+            .filter(|&d| d != INFINITY)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of nodes with no reachable landmark.

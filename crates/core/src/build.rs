@@ -10,12 +10,11 @@
 //! 4. For every landmark, a full BFS materialises its dense distance row.
 //!
 //! Steps 3 and 4 are embarrassingly parallel across nodes / landmarks and
-//! are distributed over worker threads with `crossbeam::thread::scope`.
+//! are distributed over worker threads with `std::thread::scope`.
 
-use std::collections::HashMap;
-
-use vicinity_graph::algo::bfs::bfs_distances;
+use vicinity_graph::algo::bfs::{bfs_distances, BoundedBfsScratch};
 use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::NodeId;
 
 use crate::ball::BallRadii;
@@ -42,7 +41,12 @@ pub struct OracleBuilder {
 impl OracleBuilder {
     /// Start a builder with the given α and default settings otherwise.
     pub fn new(alpha: Alpha) -> Self {
-        OracleBuilder { config: OracleConfig { alpha, ..Default::default() } }
+        OracleBuilder {
+            config: OracleConfig {
+                alpha,
+                ..Default::default()
+            },
+        }
     }
 
     /// Start a builder from a full configuration.
@@ -133,23 +137,29 @@ fn build_vicinities(
     let threads = config.effective_threads().clamp(1, n);
     let chunk_size = n.div_ceil(threads);
 
-    let build_one = |u: NodeId| {
-        NodeVicinity::build(
+    // One dense BFS scratch per worker keeps every per-node traversal free
+    // of hashing and allocation (the construction hot loop).
+    let build_one = |u: NodeId, scratch: &mut BoundedBfsScratch| {
+        NodeVicinity::build_with_scratch(
             graph,
             u,
             radii.radius_of(u),
             radii.nearest_landmark(u),
             config.backend,
             config.store_paths,
+            Some(scratch),
         )
     };
 
     if threads == 1 {
-        return (0..n as NodeId).map(build_one).collect();
+        let mut scratch = BoundedBfsScratch::with_node_capacity(n);
+        return (0..n as NodeId)
+            .map(|u| build_one(u, &mut scratch))
+            .collect();
     }
 
     let mut chunks: Vec<Vec<NodeVicinity>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk_index in 0..threads {
             let start = chunk_index * chunk_size;
@@ -157,22 +167,31 @@ fn build_vicinities(
             if start >= end {
                 continue;
             }
-            handles.push(scope.spawn(move |_| {
-                (start as NodeId..end as NodeId).map(build_one).collect::<Vec<_>>()
+            handles.push(scope.spawn(move || {
+                let mut scratch = BoundedBfsScratch::with_node_capacity(n);
+                (start as NodeId..end as NodeId)
+                    .map(|u| build_one(u, &mut scratch))
+                    .collect::<Vec<_>>()
             }));
         }
         for handle in handles {
-            chunks.push(handle.join().expect("vicinity construction thread panicked"));
+            chunks.push(
+                handle
+                    .join()
+                    .expect("vicinity construction thread panicked"),
+            );
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut vicinities = Vec::with_capacity(n);
     for chunk in chunks {
         vicinities.extend(chunk);
     }
     debug_assert_eq!(vicinities.len(), n);
-    debug_assert!(vicinities.iter().enumerate().all(|(i, v)| v.owner() as usize == i));
+    debug_assert!(vicinities
+        .iter()
+        .enumerate()
+        .all(|(i, v)| v.owner() as usize == i));
     vicinities
 }
 
@@ -181,32 +200,32 @@ fn build_landmark_tables(
     graph: &CsrGraph,
     config: &OracleConfig,
     landmarks: &LandmarkSet,
-) -> HashMap<NodeId, LandmarkTable> {
+) -> FastMap<NodeId, LandmarkTable> {
     let landmark_nodes = landmarks.nodes();
     if landmark_nodes.is_empty() {
-        return HashMap::new();
+        return FastMap::default();
     }
     let threads = config.effective_threads().clamp(1, landmark_nodes.len());
     let chunk_size = landmark_nodes.len().div_ceil(threads);
 
-    let build_row =
-        |&l: &NodeId| -> (NodeId, LandmarkTable) { (l, LandmarkTable::from_distances(&bfs_distances(graph, l))) };
+    let build_row = |&l: &NodeId| -> (NodeId, LandmarkTable) {
+        (l, LandmarkTable::from_distances(&bfs_distances(graph, l)))
+    };
 
     if threads == 1 {
         return landmark_nodes.iter().map(build_row).collect();
     }
 
-    let mut tables = HashMap::with_capacity(landmark_nodes.len());
-    crossbeam::thread::scope(|scope| {
+    let mut tables = FastMap::with_capacity_and_hasher(landmark_nodes.len(), Default::default());
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in landmark_nodes.chunks(chunk_size) {
-            handles.push(scope.spawn(move |_| chunk.iter().map(build_row).collect::<Vec<_>>()));
+            handles.push(scope.spawn(move || chunk.iter().map(build_row).collect::<Vec<_>>()));
         }
         for handle in handles {
             tables.extend(handle.join().expect("landmark table thread panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     tables
 }
 
@@ -223,7 +242,10 @@ mod tests {
         let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(1).build(&g);
         assert_eq!(oracle.node_count(), g.node_count());
         assert_eq!(oracle.edge_count(), g.edge_count());
-        assert!(!oracle.landmarks().is_empty(), "a social graph must yield landmarks");
+        assert!(
+            !oracle.landmarks().is_empty(),
+            "a social graph must yield landmarks"
+        );
         assert!(oracle.stores_paths());
         // Every landmark has a table, and only landmarks do.
         for &l in oracle.landmarks().nodes() {
@@ -245,8 +267,12 @@ mod tests {
     #[test]
     fn vicinity_sizes_track_alpha() {
         let g = SocialGraphConfig::small_test().generate(72);
-        let small = OracleBuilder::new(Alpha::new(1.0).unwrap()).seed(2).build(&g);
-        let large = OracleBuilder::new(Alpha::new(8.0).unwrap()).seed(2).build(&g);
+        let small = OracleBuilder::new(Alpha::new(1.0).unwrap())
+            .seed(2)
+            .build(&g);
+        let large = OracleBuilder::new(Alpha::new(8.0).unwrap())
+            .seed(2)
+            .build(&g);
         assert!(
             large.average_vicinity_size() > small.average_vicinity_size(),
             "bigger alpha must give bigger vicinities ({} vs {})",
@@ -259,14 +285,23 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let g = SocialGraphConfig::small_test().generate(73);
-        let a = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(5).threads(1).build(&g);
-        let b = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(5).threads(4).build(&g);
+        let a = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(5)
+            .threads(1)
+            .build(&g);
+        let b = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(5)
+            .threads(4)
+            .build(&g);
         // Thread count must not affect the resulting index (only the config
         // record differs).
         assert_eq!(a.landmarks, b.landmarks);
         assert_eq!(a.vicinities, b.vicinities);
         assert_eq!(a.landmark_tables, b.landmark_tables);
-        let c = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(6).threads(1).build(&g);
+        let c = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(6)
+            .threads(1)
+            .build(&g);
         assert_ne!(a.landmarks, c.landmarks);
     }
 
@@ -325,10 +360,12 @@ mod tests {
     #[test]
     fn try_build_rejects_invalid_config() {
         let g = classic::path(5);
-        let mut config = OracleConfig::default();
-        // Bypass Alpha::new validation by constructing through serde-style
-        // default and then checking validate() catches it at build time.
-        config.alpha = Alpha::PAPER_DEFAULT;
+        // Construct the config directly (as a deserializer would) and check
+        // that validate() accepts it at build time.
+        let config = OracleConfig {
+            alpha: Alpha::PAPER_DEFAULT,
+            ..Default::default()
+        };
         assert!(OracleBuilder::from_config(config).try_build(&g).is_ok());
     }
 }

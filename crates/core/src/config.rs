@@ -1,14 +1,12 @@
 //! Oracle configuration: the α parameter, landmark sampling strategy and
 //! construction options.
 
-use serde::{Deserialize, Serialize};
-
 /// The α parameter of the paper: vicinities have expected size `α·√n`.
 ///
 /// The paper sweeps α from 1/64 to 64 (Figure 2) and uses `α = 4` for the
 /// headline results (Table 3), the value at which >99.9 % of random pairs
 /// have intersecting vicinities across all four datasets.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Alpha(f64);
 
 impl Alpha {
@@ -60,10 +58,11 @@ impl std::fmt::Display for Alpha {
 }
 
 /// How the landmark set `L` is sampled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SamplingStrategy {
     /// The paper's strategy (§2.2): node `u` is a landmark with probability
     /// `2·deg(u) / (α·√n)` (clamped to 1).
+    #[default]
     DegreeProportional,
     /// Uniform sampling with the same *expected* landmark count as the
     /// degree-proportional strategy; used by the ablation experiments to
@@ -75,17 +74,12 @@ pub enum SamplingStrategy {
     TopDegree,
 }
 
-impl Default for SamplingStrategy {
-    fn default() -> Self {
-        SamplingStrategy::DegreeProportional
-    }
-}
-
 /// Which exact-membership structure backs the per-node vicinity tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TableBackend {
     /// `HashMap`-backed tables — a faithful reproduction of the paper's
     /// `unordered_map` implementation; O(1) probes.
+    #[default]
     HashMap,
     /// Sorted-array tables probed with binary search — smaller and more
     /// cache friendly, O(log |Γ|) probes. Used by the "customized data
@@ -93,14 +87,8 @@ pub enum TableBackend {
     SortedArray,
 }
 
-impl Default for TableBackend {
-    fn default() -> Self {
-        TableBackend::HashMap
-    }
-}
-
 /// Full construction-time configuration of the oracle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OracleConfig {
     /// Vicinity size parameter.
     pub alpha: Alpha,
@@ -142,7 +130,9 @@ impl OracleConfig {
     /// Number of worker threads to actually use.
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             self.threads
         }
@@ -204,7 +194,10 @@ mod tests {
         assert_eq!(c.backend, TableBackend::HashMap);
         assert!(c.store_paths);
         assert!(c.effective_threads() >= 1);
-        let fixed = OracleConfig { threads: 3, ..Default::default() };
+        let fixed = OracleConfig {
+            threads: 3,
+            ..Default::default()
+        };
         assert_eq!(fixed.effective_threads(), 3);
     }
 }

@@ -57,17 +57,26 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(OracleError::InvalidGraph("empty".into()).to_string().contains("empty"));
-        assert!(OracleError::InvalidConfig("alpha".into()).to_string().contains("alpha"));
-        let e = OracleError::NodeOutOfRange { node: 9, node_count: 3 };
+        assert!(OracleError::InvalidGraph("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(OracleError::InvalidConfig("alpha".into())
+            .to_string()
+            .contains("alpha"));
+        let e = OracleError::NodeOutOfRange {
+            node: 9,
+            node_count: 3,
+        };
         assert!(e.to_string().contains('9') && e.to_string().contains('3'));
-        assert!(OracleError::Decode("bad magic".into()).to_string().contains("bad magic"));
+        assert!(OracleError::Decode("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
         assert!(OracleError::Io("gone".into()).to_string().contains("gone"));
     }
 
     #[test]
     fn conversions() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         assert!(matches!(OracleError::from(io), OracleError::Io(_)));
         let ge = vicinity_graph::GraphError::EmptyGraph;
         assert!(matches!(OracleError::from(ge), OracleError::Decode(_)));

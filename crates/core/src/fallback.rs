@@ -46,7 +46,10 @@ impl ResolvedDistance {
 
     /// True when the value is exact (oracle or fallback search).
     pub fn is_exact(&self) -> bool {
-        matches!(self, ResolvedDistance::OracleExact(_) | ResolvedDistance::FallbackExact(_))
+        matches!(
+            self,
+            ResolvedDistance::OracleExact(_) | ResolvedDistance::FallbackExact(_)
+        )
     }
 }
 
@@ -107,9 +110,23 @@ impl<'g> ExactFallback<'g> {
             }
             let forward = q_fwd.len() <= q_bwd.len();
             let (queue, dist, stamp_vec, other_dist, other_stamp, radius) = if forward {
-                (&mut q_fwd, &mut self.dist_fwd, &mut self.stamp_fwd, &self.dist_bwd, &self.stamp_bwd, &mut radius_fwd)
+                (
+                    &mut q_fwd,
+                    &mut self.dist_fwd,
+                    &mut self.stamp_fwd,
+                    &self.dist_bwd,
+                    &self.stamp_bwd,
+                    &mut radius_fwd,
+                )
             } else {
-                (&mut q_bwd, &mut self.dist_bwd, &mut self.stamp_bwd, &self.dist_fwd, &self.stamp_fwd, &mut radius_bwd)
+                (
+                    &mut q_bwd,
+                    &mut self.dist_bwd,
+                    &mut self.stamp_bwd,
+                    &self.dist_fwd,
+                    &self.stamp_fwd,
+                    &mut radius_bwd,
+                )
             };
             let level = dist[*queue.front().expect("non-empty") as usize];
             while let Some(&u) = queue.front() {
@@ -152,7 +169,12 @@ impl<'o, 'g> QueryWithFallback<'o, 'g> {
     /// Create a combined engine. The graph must be the one the oracle was
     /// built over.
     pub fn new(oracle: &'o VicinityOracle, graph: &'g CsrGraph) -> Self {
-        QueryWithFallback { oracle, fallback: ExactFallback::new(graph), oracle_hits: 0, fallback_hits: 0 }
+        QueryWithFallback {
+            oracle,
+            fallback: ExactFallback::new(graph),
+            oracle_hits: 0,
+            fallback_hits: 0,
+        }
     }
 
     /// Exact distance for every pair: the oracle answers when it can, the
@@ -201,7 +223,7 @@ impl VicinityOracle {
                 continue;
             };
             let est = ds + dt;
-            if best.map_or(true, |b| est < b) {
+            if best.is_none_or(|b| est < b) {
                 best = Some(est);
             }
         }
@@ -214,12 +236,12 @@ mod tests {
     use super::*;
     use crate::build::OracleBuilder;
     use crate::config::Alpha;
+    use rand::SeedableRng;
     use vicinity_baselines::bfs::BfsEngine;
     use vicinity_baselines::PointToPoint;
     use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
-    use rand::SeedableRng;
 
     #[test]
     fn exact_fallback_matches_bfs() {
@@ -251,7 +273,9 @@ mod tests {
         // A grid has no hubs and long distances, so at moderate alpha many
         // pairs have non-intersecting vicinities and the fallback fires.
         let g = classic::grid(30, 30);
-        let oracle = OracleBuilder::new(Alpha::new(8.0).unwrap()).seed(3).build(&g);
+        let oracle = OracleBuilder::new(Alpha::new(8.0).unwrap())
+            .seed(3)
+            .build(&g);
         let mut combined = QueryWithFallback::new(&oracle, &g);
         let mut bfs = BfsEngine::new(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
@@ -260,7 +284,10 @@ mod tests {
             assert_eq!(resolved.value(), bfs.distance(s, t), "pair ({s},{t})");
             assert!(resolved.is_exact());
         }
-        assert!(combined.fallback_hits > 0, "grid queries should produce misses");
+        assert!(
+            combined.fallback_hits > 0,
+            "grid queries should produce misses"
+        );
         assert!(combined.oracle_hit_rate() < 1.0);
         assert!(combined.oracle_hits + combined.fallback_hits == 150);
     }
@@ -271,7 +298,9 @@ mod tests {
         // on the paper's million-node graphs (hop quantisation shrinks
         // vicinities at small n); most queries should hit the index.
         let g = SocialGraphConfig::small_test().generate(102);
-        let oracle = OracleBuilder::new(Alpha::new(32.0).unwrap()).seed(4).build(&g);
+        let oracle = OracleBuilder::new(Alpha::new(32.0).unwrap())
+            .seed(4)
+            .build(&g);
         let mut combined = QueryWithFallback::new(&oracle, &g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         for (s, t) in random_pairs(&g, 300, &mut rng) {
@@ -292,8 +321,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         for (s, t) in random_pairs(&g, 100, &mut rng) {
             let exact = bfs.distance(s, t).unwrap();
-            let est = oracle.landmark_estimate(s, t).expect("landmarks reach the whole component");
-            assert!(est >= exact, "estimate {est} below exact {exact} for ({s},{t})");
+            let est = oracle
+                .landmark_estimate(s, t)
+                .expect("landmarks reach the whole component");
+            assert!(
+                est >= exact,
+                "estimate {est} below exact {exact} for ({s},{t})"
+            );
         }
         assert_eq!(oracle.landmark_estimate(7, 7), Some(0));
     }

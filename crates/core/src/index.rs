@@ -12,9 +12,8 @@
 //! landmark are reconstructed by greedy descent on the distance array, so no
 //! predecessor storage is needed for landmarks.
 
-use std::collections::HashMap;
-
 use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::{Distance, NodeId, INFINITY};
 
 use crate::config::OracleConfig;
@@ -23,6 +22,24 @@ use crate::vicinity::NodeVicinity;
 
 /// Sentinel for "unreachable" in the compact landmark rows.
 const UNREACHABLE_U16: u16 = u16::MAX;
+
+/// Sentinel for "finite but too large for 16 bits" in the compact landmark
+/// rows. Distinguishing saturation from unreachability keeps queries from
+/// reporting connected pairs as provably disconnected on graphs with
+/// diameters beyond `u16` range.
+const SATURATED_U16: u16 = u16::MAX - 1;
+
+/// One decoded landmark-row entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkEntry {
+    /// Exact distance from the landmark.
+    Exact(Distance),
+    /// The node is reachable but the distance exceeds the row's 16-bit
+    /// storage; the exact value is unknown.
+    Saturated,
+    /// The node is not reachable from the landmark (or out of range).
+    Unreachable,
+}
 
 /// Dense single-source distance table for one landmark.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,8 +53,10 @@ impl LandmarkTable {
         let compact = distances
             .iter()
             .map(|&d| {
-                if d == INFINITY || d >= UNREACHABLE_U16 as Distance {
+                if d == INFINITY {
                     UNREACHABLE_U16
+                } else if d >= SATURATED_U16 as Distance {
+                    SATURATED_U16
                 } else {
                     d as u16
                 }
@@ -46,13 +65,24 @@ impl LandmarkTable {
         LandmarkTable { distances: compact }
     }
 
-    /// Distance from the landmark to `v`, or `None` when unreachable / out
-    /// of range.
+    /// Distance from the landmark to `v`, or `None` when unreachable,
+    /// saturated, or out of range. Use [`LandmarkTable::entry`] when the
+    /// distinction between those cases matters.
     #[inline]
     pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
-        match self.distances.get(v as usize) {
-            Some(&d) if d != UNREACHABLE_U16 => Some(d as Distance),
+        match self.entry(v) {
+            LandmarkEntry::Exact(d) => Some(d),
             _ => None,
+        }
+    }
+
+    /// Full decoded entry for `v`.
+    #[inline]
+    pub fn entry(&self, v: NodeId) -> LandmarkEntry {
+        match self.distances.get(v as usize) {
+            Some(&UNREACHABLE_U16) | None => LandmarkEntry::Unreachable,
+            Some(&SATURATED_U16) => LandmarkEntry::Saturated,
+            Some(&d) => LandmarkEntry::Exact(d as Distance),
         }
     }
 
@@ -95,7 +125,7 @@ pub struct VicinityOracle {
     /// One vicinity per node, indexed by node id.
     pub(crate) vicinities: Vec<NodeVicinity>,
     /// Landmark id → dense distance row.
-    pub(crate) landmark_tables: HashMap<NodeId, LandmarkTable>,
+    pub(crate) landmark_tables: FastMap<NodeId, LandmarkTable>,
 }
 
 impl VicinityOracle {
@@ -159,15 +189,21 @@ impl VicinityOracle {
         if self.vicinities.is_empty() {
             return 0.0;
         }
-        self.vicinities.iter().map(|v| v.boundary_len() as f64).sum::<f64>()
+        self.vicinities
+            .iter()
+            .map(|v| v.boundary_len() as f64)
+            .sum::<f64>()
             / self.vicinities.len() as f64
     }
 
     /// Average vicinity radius `d(u, ℓ(u))` over non-landmark nodes — the
     /// quantity of Figure 2 (right).
     pub fn average_vicinity_radius(&self) -> f64 {
-        let non_landmark: Vec<&NodeVicinity> =
-            self.vicinities.iter().filter(|v| !self.is_landmark(v.owner())).collect();
+        let non_landmark: Vec<&NodeVicinity> = self
+            .vicinities
+            .iter()
+            .filter(|v| !self.is_landmark(v.owner()))
+            .collect();
         if non_landmark.is_empty() {
             return 0.0;
         }
@@ -210,6 +246,18 @@ impl VicinityOracle {
     }
 }
 
+// Compile-time audit that the whole index is shareable across worker
+// threads: one immutable build behind an `Arc` may be queried concurrently
+// (the serving subsystem in `vicinity-server` relies on this). If a future
+// refactor introduces interior mutability (`Cell`, `Rc`, raw pointers, …)
+// into any stored component, this stops compiling rather than silently
+// making the server unsound.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VicinityOracle>();
+    assert_send_sync::<LandmarkTable>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,7 +268,11 @@ mod tests {
         assert_eq!(t.distance_to(0), Some(0));
         assert_eq!(t.distance_to(1), Some(3));
         assert_eq!(t.distance_to(2), None, "INFINITY maps to unreachable");
-        assert_eq!(t.distance_to(3), None, "distances beyond u16::MAX saturate to unreachable");
+        assert_eq!(
+            t.distance_to(3),
+            None,
+            "distances beyond u16::MAX saturate to unreachable"
+        );
         assert_eq!(t.distance_to(4), Some(12));
         assert_eq!(t.distance_to(99), None);
         assert_eq!(t.len(), 5);

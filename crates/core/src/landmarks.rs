@@ -60,7 +60,10 @@ impl LandmarkSet {
             SamplingStrategy::TopDegree => {
                 let expected = sampling::expected_landmark_count(graph, alpha).round() as usize;
                 let expected = expected.clamp(usize::from(n > 0), n);
-                nodes_by_degree_desc(graph).into_iter().take(expected).collect()
+                nodes_by_degree_desc(graph)
+                    .into_iter()
+                    .take(expected)
+                    .collect()
             }
         };
         Self::from_nodes(nodes, n)
@@ -150,7 +153,12 @@ mod tests {
         let g = SocialGraphConfig::small_test().generate(51);
         let few = LandmarkSet::select(&g, &config(SamplingStrategy::DegreeProportional, 16.0, 1));
         let many = LandmarkSet::select(&g, &config(SamplingStrategy::DegreeProportional, 0.25, 1));
-        assert!(many.len() > few.len(), "{} should exceed {}", many.len(), few.len());
+        assert!(
+            many.len() > few.len(),
+            "{} should exceed {}",
+            many.len(),
+            few.len()
+        );
     }
 
     #[test]

@@ -45,15 +45,24 @@ impl MemoryReport {
         let nodes = oracle.node_count();
         let alpha = oracle.config().alpha.value();
         let vicinity_entries = oracle.total_vicinity_entries();
-        let vicinity_bytes: u64 =
-            oracle.vicinities.iter().map(|v| v.memory_bytes() as u64).sum();
-        let landmark_bytes: u64 =
-            oracle.landmark_tables.values().map(|t| t.memory_bytes() as u64).sum();
+        let vicinity_bytes: u64 = oracle
+            .vicinities
+            .iter()
+            .map(|v| v.memory_bytes() as u64)
+            .sum();
+        let landmark_bytes: u64 = oracle
+            .landmark_tables
+            .values()
+            .map(|t| t.memory_bytes() as u64)
+            .sum();
         let total_bytes =
             vicinity_bytes + landmark_bytes + oracle.landmarks().memory_bytes() as u64;
         let apsp_entries = (nodes as u128) * (nodes.saturating_sub(1) as u128);
-        let entries_per_node =
-            if nodes == 0 { 0.0 } else { vicinity_entries as f64 / nodes as f64 };
+        let entries_per_node = if nodes == 0 {
+            0.0
+        } else {
+            vicinity_entries as f64 / nodes as f64
+        };
         let sqrt_n = (nodes as f64).sqrt();
         MemoryReport {
             nodes,
@@ -140,8 +149,12 @@ mod tests {
     #[test]
     fn larger_alpha_means_less_savings() {
         let g = SocialGraphConfig::small_test().generate(112);
-        let small = OracleBuilder::new(Alpha::new(1.0).unwrap()).seed(2).build(&g);
-        let large = OracleBuilder::new(Alpha::new(8.0).unwrap()).seed(2).build(&g);
+        let small = OracleBuilder::new(Alpha::new(1.0).unwrap())
+            .seed(2)
+            .build(&g);
+        let large = OracleBuilder::new(Alpha::new(8.0).unwrap())
+            .seed(2)
+            .build(&g);
         let rs = MemoryReport::measure(&small);
         let rl = MemoryReport::measure(&large);
         assert!(rs.vicinity_entries < rl.vicinity_entries);

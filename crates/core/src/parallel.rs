@@ -10,10 +10,10 @@
 //! here: the oracle is immutable after construction, so any number of worker
 //! threads can answer queries against the *same* index concurrently — no
 //! replication, no synchronisation on the hot path. [`ParallelQueryEngine`]
-//! shards a batch of queries over `crossbeam` scoped threads and returns the
-//! answers in input order; misses can optionally be resolved with per-thread
-//! exact fallbacks (each fallback needs only O(n) scratch, not a copy of the
-//! index).
+//! shards a batch of queries over `std::thread` scoped threads and returns
+//! the answers in input order; misses can optionally be resolved with
+//! per-thread exact fallbacks (each fallback needs only O(n) scratch, not a
+//! copy of the index).
 
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::{Distance, NodeId};
@@ -46,7 +46,10 @@ impl BatchAnswer {
 
     /// True when the answer is exact (index or fallback).
     pub fn is_exact(&self) -> bool {
-        matches!(self, BatchAnswer::Exact(_) | BatchAnswer::ExactViaFallback(_))
+        matches!(
+            self,
+            BatchAnswer::Exact(_) | BatchAnswer::ExactViaFallback(_)
+        )
     }
 }
 
@@ -76,13 +79,21 @@ impl<'o, 'g> ParallelQueryEngine<'o, 'g> {
     /// Create an engine that answers only from the index (misses stay
     /// misses).
     pub fn new(oracle: &'o VicinityOracle) -> Self {
-        ParallelQueryEngine { oracle, graph: None, threads: 0 }
+        ParallelQueryEngine {
+            oracle,
+            graph: None,
+            threads: 0,
+        }
     }
 
     /// Create an engine that resolves misses with a per-thread exact
     /// bidirectional-BFS fallback over `graph`.
     pub fn with_fallback(oracle: &'o VicinityOracle, graph: &'g CsrGraph) -> Self {
-        ParallelQueryEngine { oracle, graph: Some(graph), threads: 0 }
+        ParallelQueryEngine {
+            oracle,
+            graph: Some(graph),
+            threads: 0,
+        }
     }
 
     /// Set the number of worker threads (`0` = all available parallelism).
@@ -92,12 +103,7 @@ impl<'o, 'g> ParallelQueryEngine<'o, 'g> {
     }
 
     fn effective_threads(&self, work_items: usize) -> usize {
-        let available = if self.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            self.threads
-        };
-        available.clamp(1, work_items.max(1))
+        resolve_worker_threads(self.threads, work_items)
     }
 
     /// Answer a batch of queries. Results are returned in the same order as
@@ -113,10 +119,10 @@ impl<'o, 'g> ParallelQueryEngine<'o, 'g> {
         let chunk_size = pairs.len().div_ceil(threads);
         let mut answers = Vec::with_capacity(pairs.len());
         let mut stats = BatchStats::default();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in pairs.chunks(chunk_size) {
-                handles.push(scope.spawn(move |_| self.run_chunk(chunk)));
+                handles.push(scope.spawn(move || self.run_chunk(chunk)));
             }
             for handle in handles {
                 let (chunk_answers, chunk_stats) =
@@ -124,8 +130,7 @@ impl<'o, 'g> ParallelQueryEngine<'o, 'g> {
                 answers.extend(chunk_answers);
                 stats = merge(stats, chunk_stats);
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         (answers, stats)
     }
 
@@ -168,6 +173,21 @@ impl<'o, 'g> ParallelQueryEngine<'o, 'g> {
     }
 }
 
+/// Resolve a requested worker-thread count (`0` = all available
+/// parallelism) against the amount of work, clamping to at least one
+/// thread and at most one thread per work item. Shared by every batch
+/// executor in the stack (this engine and `vicinity-server`).
+pub fn resolve_worker_threads(requested: usize, work_items: usize) -> usize {
+    let available = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    available.clamp(1, work_items.max(1))
+}
+
 fn merge(a: BatchStats, b: BatchStats) -> BatchStats {
     BatchStats {
         index_hits: a.index_hits + b.index_hits,
@@ -183,12 +203,12 @@ mod tests {
     use super::*;
     use crate::build::OracleBuilder;
     use crate::config::Alpha;
+    use rand::SeedableRng;
     use vicinity_baselines::bfs::BfsEngine;
     use vicinity_baselines::PointToPoint;
     use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
-    use rand::SeedableRng;
 
     #[test]
     fn parallel_results_match_sequential() {
@@ -197,10 +217,20 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let pairs = random_pairs(&g, 500, &mut rng);
 
-        let sequential = ParallelQueryEngine::new(&oracle).threads(1).distances(&pairs);
-        let parallel = ParallelQueryEngine::new(&oracle).threads(4).distances(&pairs);
-        assert_eq!(sequential.0, parallel.0, "answers must not depend on the thread count");
-        assert_eq!(sequential.1, parallel.1, "stats must not depend on the thread count");
+        let sequential = ParallelQueryEngine::new(&oracle)
+            .threads(1)
+            .distances(&pairs);
+        let parallel = ParallelQueryEngine::new(&oracle)
+            .threads(4)
+            .distances(&pairs);
+        assert_eq!(
+            sequential.0, parallel.0,
+            "answers must not depend on the thread count"
+        );
+        assert_eq!(
+            sequential.1, parallel.1,
+            "stats must not depend on the thread count"
+        );
         assert_eq!(parallel.0.len(), pairs.len());
     }
 
@@ -211,11 +241,15 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let pairs = random_pairs(&g, 300, &mut rng);
 
-        let (answers, stats) =
-            ParallelQueryEngine::with_fallback(&oracle, &g).threads(3).distances(&pairs);
+        let (answers, stats) = ParallelQueryEngine::with_fallback(&oracle, &g)
+            .threads(3)
+            .distances(&pairs);
         let mut bfs = BfsEngine::new(&g);
         for (&(s, t), answer) in pairs.iter().zip(&answers) {
-            assert!(answer.is_exact(), "connected pair ({s},{t}) must be answered");
+            assert!(
+                answer.is_exact(),
+                "connected pair ({s},{t}) must be answered"
+            );
             assert_eq!(answer.distance(), bfs.distance(s, t), "pair ({s},{t})");
         }
         assert_eq!(stats.misses, 0);
@@ -230,13 +264,21 @@ mod tests {
     fn without_fallback_misses_are_reported() {
         // A large grid at moderate alpha produces misses.
         let g = classic::grid(25, 25);
-        let oracle = OracleBuilder::new(Alpha::new(8.0).unwrap()).seed(3).build(&g);
+        let oracle = OracleBuilder::new(Alpha::new(8.0).unwrap())
+            .seed(3)
+            .build(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let pairs = random_pairs(&g, 200, &mut rng);
         let (answers, stats) = ParallelQueryEngine::new(&oracle).distances(&pairs);
         assert_eq!(answers.len(), 200);
         assert!(stats.misses > 0, "expected some misses on a grid");
-        assert_eq!(answers.iter().filter(|a| matches!(a, BatchAnswer::Miss)).count() as u64, stats.misses);
+        assert_eq!(
+            answers
+                .iter()
+                .filter(|a| matches!(a, BatchAnswer::Miss))
+                .count() as u64,
+            stats.misses
+        );
     }
 
     #[test]
@@ -248,8 +290,7 @@ mod tests {
         let g = b.build_undirected();
         let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(4).build(&g);
         let pairs = vec![(0, 6), (5, 2), (0, 2)];
-        let (answers, stats) =
-            ParallelQueryEngine::with_fallback(&oracle, &g).distances(&pairs);
+        let (answers, stats) = ParallelQueryEngine::with_fallback(&oracle, &g).distances(&pairs);
         assert_eq!(answers[0], BatchAnswer::Unreachable);
         assert_eq!(answers[1], BatchAnswer::Unreachable);
         assert_eq!(answers[2].distance(), Some(2));

@@ -48,6 +48,17 @@ pub struct QueryStats {
     pub intersection_size: u64,
 }
 
+impl QueryStats {
+    /// Fold `other` into `self`. Lets long-running callers (batch engines,
+    /// the query server) accumulate per-query work counters in place.
+    #[inline]
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.lookups += other.lookups;
+        self.boundary_scanned += other.boundary_scanned;
+        self.intersection_size += other.intersection_size;
+    }
+}
+
 /// Result of a distance query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistanceAnswer {
@@ -148,6 +159,22 @@ impl VicinityOracle {
         self.distance_with_stats(s, t).0
     }
 
+    /// Like [`VicinityOracle::distance`], folding per-query work into a
+    /// caller-owned accumulator instead of returning a fresh [`QueryStats`].
+    /// This is the cheap by-reference entry point used by serving loops that
+    /// track aggregate work across millions of queries.
+    #[inline]
+    pub fn distance_accumulate(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        accumulator: &mut QueryStats,
+    ) -> DistanceAnswer {
+        let (answer, stats) = self.distance_with_stats(s, t);
+        accumulator.merge(&stats);
+        answer
+    }
+
     /// Like [`VicinityOracle::distance`] but also reports per-query work.
     pub fn distance_with_stats(&self, s: NodeId, t: NodeId) -> (DistanceAnswer, QueryStats) {
         let mut stats = QueryStats::default();
@@ -156,34 +183,35 @@ impl VicinityOracle {
         }
         if s == t {
             return (
-                DistanceAnswer::Exact { distance: 0, method: AnswerMethod::SameNode },
+                DistanceAnswer::Exact {
+                    distance: 0,
+                    method: AnswerMethod::SameNode,
+                },
                 stats,
             );
         }
 
-        // Case 1: s ∈ L.
-        stats.lookups += 1;
-        if let Some(table) = self.landmark_table(s) {
+        // Cases 1 and 2: an endpoint is a landmark — answer from its dense
+        // row. A saturated entry (finite distance beyond the row's 16-bit
+        // storage) is reported as a miss rather than a wrong "unreachable",
+        // so the caller's exact fallback can resolve it.
+        for (landmark, other, method) in [
+            (s, t, AnswerMethod::SourceLandmark),
+            (t, s, AnswerMethod::TargetLandmark),
+        ] {
             stats.lookups += 1;
-            return match table.distance_to(t) {
-                Some(d) => (
-                    DistanceAnswer::Exact { distance: d, method: AnswerMethod::SourceLandmark },
-                    stats,
-                ),
-                None => (DistanceAnswer::Unreachable, stats),
-            };
-        }
-        // Case 2: t ∈ L.
-        stats.lookups += 1;
-        if let Some(table) = self.landmark_table(t) {
-            stats.lookups += 1;
-            return match table.distance_to(s) {
-                Some(d) => (
-                    DistanceAnswer::Exact { distance: d, method: AnswerMethod::TargetLandmark },
-                    stats,
-                ),
-                None => (DistanceAnswer::Unreachable, stats),
-            };
+            if let Some(table) = self.landmark_table(landmark) {
+                stats.lookups += 1;
+                return match table.entry(other) {
+                    crate::index::LandmarkEntry::Exact(distance) => {
+                        (DistanceAnswer::Exact { distance, method }, stats)
+                    }
+                    crate::index::LandmarkEntry::Unreachable => {
+                        (DistanceAnswer::Unreachable, stats)
+                    }
+                    crate::index::LandmarkEntry::Saturated => (DistanceAnswer::Miss, stats),
+                };
+            }
         }
 
         let vs = self.vicinity(s).expect("checked in-range");
@@ -193,7 +221,10 @@ impl VicinityOracle {
         stats.lookups += 1;
         if let Some(d) = vs.distance_to(t) {
             return (
-                DistanceAnswer::Exact { distance: d, method: AnswerMethod::TargetInSourceVicinity },
+                DistanceAnswer::Exact {
+                    distance: d,
+                    method: AnswerMethod::TargetInSourceVicinity,
+                },
                 stats,
             );
         }
@@ -201,33 +232,94 @@ impl VicinityOracle {
         stats.lookups += 1;
         if let Some(d) = vt.distance_to(s) {
             return (
-                DistanceAnswer::Exact { distance: d, method: AnswerMethod::SourceInTargetVicinity },
+                DistanceAnswer::Exact {
+                    distance: d,
+                    method: AnswerMethod::SourceInTargetVicinity,
+                },
                 stats,
             );
         }
 
-        // Vicinity intersection over the smaller boundary (Lemma 1 lets us
-        // use either side's boundary; picking the smaller one minimises the
-        // number of probes).
-        let (scan, probe) =
-            if vs.boundary_len() <= vt.boundary_len() { (vs, vt) } else { (vt, vs) };
-        let mut best: Option<Distance> = None;
-        for (w, d_scan) in scan.boundary_iter() {
-            stats.boundary_scanned += 1;
+        // Exact pruning from structure already in memory, all O(1) probes:
+        //
+        // * Cases 3 and 4 failing proves `d(s,t) > max(r_s, r_t)` (for
+        //   unweighted graphs the vicinity is exactly the radius-`r` ball).
+        // * The nearest-landmark rows give the triangle bound
+        //   `|d(ℓ,s) − d(ℓ,t)| ≤ d(s,t)` — and a landmark reaching one
+        //   endpoint but not the other proves the endpoints disconnected.
+        //
+        // The resulting lower bound serves twice: when it exceeds
+        // `r_s + r_t` the balls provably do not intersect (certified miss,
+        // no scan at all), and otherwise the intersection scan can stop at
+        // the first witness attaining the bound — on social graphs most
+        // shortest paths run through early-scanned hub witnesses, so this
+        // usually ends the scan after a handful of merge steps.
+        let mut lower_bound = vs.radius().max(vt.radius()) + 1;
+        for (vicinity, other_endpoint) in [(vs, t), (vt, s)] {
+            let Some(landmark) = vicinity.nearest_landmark() else {
+                continue;
+            };
             stats.lookups += 1;
-            if let Some(d_probe) = probe.distance_to(w) {
-                stats.intersection_size += 1;
-                let total = d_scan + d_probe;
-                if best.map_or(true, |b| total < b) {
-                    best = Some(total);
+            if let Some(table) = self.landmark_table(landmark) {
+                // `None` here means unreachable from the landmark *or* a
+                // distance saturating the row's u16 storage, so it cannot
+                // be treated as a definitive "disconnected" — skip the
+                // bound and let the scan (and, on a miss, the fallback)
+                // decide.
+                if let Some(d_other) = table.distance_to(other_endpoint) {
+                    // d(ℓ(u), u) is the ball radius by definition.
+                    lower_bound = lower_bound.max(vicinity.radius().abs_diff(d_other));
                 }
             }
         }
-        match best {
-            Some(distance) => (
-                DistanceAnswer::Exact { distance, method: AnswerMethod::VicinityIntersection },
-                stats,
-            ),
+        if lower_bound > vs.radius() + vt.radius() {
+            return (DistanceAnswer::Miss, stats);
+        }
+
+        // Vicinity intersection by distance level (Theorem 1: any common
+        // member `w` certifies `d(s,t) ≤ d(s,w) + d(w,t)`, and when the
+        // balls intersect the minimum such sum *is* `d(s,t)`). Each
+        // vicinity stores its members grouped into per-distance shells, so
+        // candidate sums are probed in increasing order: for `total = lb,
+        // lb+1, …` intersect shell `a` of `Γ(s)` with shell `total − a` of
+        // `Γ(t)`. The first non-empty shell pair proves `d(s,t) = total`
+        // exactly — no minimum tracking, no scan past the answer — and
+        // exhausting `total ≤ r_s + r_t` proves the balls disjoint.
+        // Bound the scan by the *populated* shell extents rather than the
+        // nominal radii: a landmark-free vicinity's radius degenerates to
+        // the graph's hop bound, which would turn the loop below into an
+        // O(n²) sweep over empty shells.
+        let (vs_extent, vt_extent) = (vs.max_shell_distance(), vt.max_shell_distance());
+        let max_sum = vs_extent + vt_extent;
+        let mut steps = 0u64;
+        let mut answer = None;
+        'levels: for total in lower_bound..=max_sum {
+            let a_low = total.saturating_sub(vt_extent);
+            let a_high = total.min(vs_extent);
+            for a in a_low..=a_high {
+                if crate::vicinity::sorted_ids_intersect(
+                    vs.shell(a),
+                    vt.shell(total - a),
+                    &mut steps,
+                ) {
+                    answer = Some(total);
+                    break 'levels;
+                }
+            }
+        }
+        stats.boundary_scanned += steps;
+        stats.lookups += steps;
+        match answer {
+            Some(distance) => {
+                stats.intersection_size += 1;
+                (
+                    DistanceAnswer::Exact {
+                        distance,
+                        method: AnswerMethod::VicinityIntersection,
+                    },
+                    stats,
+                )
+            }
             None => (DistanceAnswer::Miss, stats),
         }
     }
@@ -244,7 +336,12 @@ impl VicinityOracle {
     /// Like [`VicinityOracle::path`], but with access to the graph so that
     /// queries whose endpoint is a landmark can also return a path
     /// (reconstructed by greedy descent on the landmark's distance row).
-    pub fn path_with_graph(&self, graph: &vicinity_graph::csr::CsrGraph, s: NodeId, t: NodeId) -> PathAnswer {
+    pub fn path_with_graph(
+        &self,
+        graph: &vicinity_graph::csr::CsrGraph,
+        s: NodeId,
+        t: NodeId,
+    ) -> PathAnswer {
         self.path_inner(s, t, Some(graph))
     }
 
@@ -258,37 +355,50 @@ impl VicinityOracle {
             return PathAnswer::Miss;
         }
         if s == t {
-            return PathAnswer::Exact { path: vec![s], distance: 0, method: AnswerMethod::SameNode };
-        }
-
-        // Landmark endpoints: need the graph for greedy descent.
-        if self.landmark_table(s).is_some() {
-            return match graph {
-                Some(g) => match self.landmark_path(g, s, t) {
-                    Some(path) => PathAnswer::Exact {
-                        distance: (path.len() - 1) as Distance,
-                        path,
-                        method: AnswerMethod::SourceLandmark,
-                    },
-                    None => PathAnswer::Unreachable,
-                },
-                None => PathAnswer::Miss,
+            return PathAnswer::Exact {
+                path: vec![s],
+                distance: 0,
+                method: AnswerMethod::SameNode,
             };
         }
-        if self.landmark_table(t).is_some() {
-            return match graph {
-                Some(g) => match self.landmark_path(g, t, s) {
-                    Some(mut path) => {
-                        path.reverse();
-                        PathAnswer::Exact {
+
+        // Landmark endpoints: need the graph for greedy descent. As with
+        // distance queries, a u16-saturated row entry means "connected but
+        // too far to store", which must surface as a miss — not a wrong
+        // "unreachable".
+        if let Some(table) = self.landmark_table(s) {
+            return match (graph, table.entry(t)) {
+                (_, crate::index::LandmarkEntry::Unreachable) => PathAnswer::Unreachable,
+                (Some(g), crate::index::LandmarkEntry::Exact(_)) => {
+                    match self.landmark_path(g, s, t) {
+                        Some(path) => PathAnswer::Exact {
                             distance: (path.len() - 1) as Distance,
                             path,
-                            method: AnswerMethod::TargetLandmark,
-                        }
+                            method: AnswerMethod::SourceLandmark,
+                        },
+                        None => PathAnswer::Miss,
                     }
-                    None => PathAnswer::Unreachable,
-                },
-                None => PathAnswer::Miss,
+                }
+                _ => PathAnswer::Miss,
+            };
+        }
+        if let Some(table) = self.landmark_table(t) {
+            return match (graph, table.entry(s)) {
+                (_, crate::index::LandmarkEntry::Unreachable) => PathAnswer::Unreachable,
+                (Some(g), crate::index::LandmarkEntry::Exact(_)) => {
+                    match self.landmark_path(g, t, s) {
+                        Some(mut path) => {
+                            path.reverse();
+                            PathAnswer::Exact {
+                                distance: (path.len() - 1) as Distance,
+                                path,
+                                method: AnswerMethod::TargetLandmark,
+                            }
+                        }
+                        None => PathAnswer::Miss,
+                    }
+                }
+                _ => PathAnswer::Miss,
             };
         }
 
@@ -324,15 +434,7 @@ impl VicinityOracle {
         } else {
             (vt, vs, false)
         };
-        let mut best: Option<(Distance, NodeId)> = None;
-        for (w, d_scan) in scan.boundary_iter() {
-            if let Some(d_probe) = probe.distance_to(w) {
-                let total = d_scan + d_probe;
-                if best.map_or(true, |(b, _)| total < b) {
-                    best = Some((total, w));
-                }
-            }
-        }
+        let (best, _scanned, _witnesses) = scan.min_boundary_sum(probe);
         let Some((distance, witness)) = best else {
             return PathAnswer::Miss;
         };
@@ -360,13 +462,13 @@ mod tests {
     use super::*;
     use crate::build::OracleBuilder;
     use crate::config::{Alpha, SamplingStrategy, TableBackend};
+    use rand::SeedableRng;
     use vicinity_baselines::bfs::BfsEngine;
     use vicinity_baselines::{validate_path, PointToPoint};
     use vicinity_graph::algo::sampling::random_pairs;
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::csr::CsrGraph;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
-    use rand::SeedableRng;
 
     fn social_graph(seed: u64) -> CsrGraph {
         SocialGraphConfig::small_test().generate(seed)
@@ -375,7 +477,7 @@ mod tests {
     /// Every answer the oracle gives must agree with BFS; `min_fraction` is
     /// the required hit rate. On the ~2000-node test graphs hop quantisation
     /// keeps vicinities (and therefore hit rates) well below the paper's
-    /// >99.9 % large-graph numbers — the large-graph behaviour is exercised
+    /// \>99.9 % large-graph numbers — the large-graph behaviour is exercised
     /// by the integration tests and the experiment harness.
     fn check_against_bfs(
         graph: &CsrGraph,
@@ -395,7 +497,10 @@ mod tests {
                     assert_eq!(Some(distance), exact, "wrong distance for ({s},{t})");
                 }
                 DistanceAnswer::Unreachable => {
-                    assert_eq!(exact, None, "({s},{t}) reported unreachable but BFS disagrees");
+                    assert_eq!(
+                        exact, None,
+                        "({s},{t}) reported unreachable but BFS disagrees"
+                    );
                 }
                 DistanceAnswer::Miss => {
                     // A miss is allowed: the vicinities did not intersect.
@@ -421,7 +526,9 @@ mod tests {
         // large enough that most pairs intersect, mirroring the paper's
         // "alpha = 16 suffices for every pair" observation scaled down.
         let g = social_graph(81);
-        let oracle = OracleBuilder::new(Alpha::new(32.0).unwrap()).seed(4).build(&g);
+        let oracle = OracleBuilder::new(Alpha::new(32.0).unwrap())
+            .seed(4)
+            .build(&g);
         check_against_bfs(&g, &oracle, 400, 91, 0.75);
     }
 
@@ -510,6 +617,87 @@ mod tests {
     }
 
     #[test]
+    fn saturated_landmark_rows_do_not_fake_unreachable() {
+        // A path longer than u16::MAX hops saturates the compact landmark
+        // rows. The landmark-bound pruning must treat a saturated (None)
+        // row entry as "no information", not as proof of disconnection:
+        // the far pair below is connected and must come back Exact or
+        // Miss (resolvable by the fallback), never Unreachable.
+        let g = classic::path(66_000);
+        // SortedArray + no paths keeps this 66k-node build cheap in debug
+        // test runs; the saturation behaviour is backend-independent.
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(3)
+            .backend(TableBackend::SortedArray)
+            .store_paths(false)
+            .build(&g);
+        let answer = oracle.distance(0, 65_999);
+        assert!(
+            !answer.is_unreachable(),
+            "connected endpoints reported unreachable: {answer:?}"
+        );
+        let mut combined = crate::fallback::QueryWithFallback::new(&oracle, &g);
+        assert_eq!(combined.distance(0, 65_999).value(), Some(65_999));
+
+        // Same guarantee when the *endpoint itself* is a landmark (cases
+        // 1/2 answer straight from the saturated row).
+        let landmark = *oracle.landmarks().nodes().iter().min().unwrap();
+        let answer = oracle.distance(landmark, 65_999);
+        assert!(
+            !answer.is_unreachable(),
+            "landmark endpoint reported unreachable: {answer:?}"
+        );
+        assert_eq!(
+            combined.distance(landmark, 65_999).value(),
+            Some(65_999 - landmark),
+        );
+
+        // Path queries obey the same rule: saturated rows surface as a
+        // miss, never a wrong "unreachable" (both endpoint orders).
+        for (a, b) in [(landmark, 65_999), (65_999, landmark)] {
+            let path_answer = oracle.path_with_graph(&g, a, b);
+            assert!(
+                !matches!(path_answer, PathAnswer::Unreachable),
+                "connected pair ({a},{b}) path reported unreachable"
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_free_components_answer_quickly() {
+        // Nodes unreachable from every landmark get degenerate vicinities
+        // whose nominal radius is the graph's hop bound. Queries touching
+        // them must stay proportional to the *populated* shells (a handful
+        // of entries), not loop over ~n² empty ones, and the shell index
+        // itself must not allocate O(n) per isolated node.
+        let mut b = GraphBuilder::with_node_count(50_000);
+        for i in 0..10u32 {
+            b.add_edge(i, (i + 1) % 10);
+        }
+        let g = b.build_undirected();
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(4).build(&g);
+        let started = std::time::Instant::now();
+        for probe in [(49_000u32, 49_999u32), (49_999, 3), (2, 49_001)] {
+            let answer = oracle.distance(probe.0, probe.1);
+            assert!(
+                answer.is_miss() || answer.is_unreachable(),
+                "cross-component pair {probe:?} got {answer:?}"
+            );
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "landmark-free queries took {:?}",
+            started.elapsed()
+        );
+        let isolated = oracle.vicinity(49_000).unwrap();
+        assert!(
+            isolated.memory_bytes() < 1024,
+            "isolated vicinity uses {} bytes",
+            isolated.memory_bytes()
+        );
+    }
+
+    #[test]
     fn unreachable_is_reported_via_landmark() {
         // Two components; force a landmark in the large one by top-degree
         // sampling, then query across components from/to that landmark.
@@ -533,7 +721,9 @@ mod tests {
     #[test]
     fn paths_are_valid_shortest_paths() {
         let g = social_graph(86);
-        let oracle = OracleBuilder::new(Alpha::new(16.0).unwrap()).seed(10).build(&g);
+        let oracle = OracleBuilder::new(Alpha::new(16.0).unwrap())
+            .seed(10)
+            .build(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(44);
         let mut bfs = BfsEngine::new(&g);
         let mut answered = 0;
@@ -560,7 +750,10 @@ mod tests {
             let d = oracle.distance(s, t);
             let p = oracle.path_with_graph(&g, s, t);
             match (d, &p) {
-                (DistanceAnswer::Exact { distance, .. }, PathAnswer::Exact { distance: pd, .. }) => {
+                (
+                    DistanceAnswer::Exact { distance, .. },
+                    PathAnswer::Exact { distance: pd, .. },
+                ) => {
                     assert_eq!(distance, *pd, "({s},{t})");
                 }
                 (DistanceAnswer::Miss, PathAnswer::Miss) => {}
@@ -575,7 +768,9 @@ mod tests {
         let g = social_graph(88);
         let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(12).build(&g);
         let landmark = oracle.landmarks().nodes()[0];
-        let other = (0..g.node_count() as NodeId).find(|&u| !oracle.is_landmark(u)).unwrap();
+        let other = (0..g.node_count() as NodeId)
+            .find(|&u| !oracle.is_landmark(u))
+            .unwrap();
         assert_eq!(oracle.path(landmark, other), PathAnswer::Miss);
         // With the graph available the same query succeeds.
         assert!(oracle.path_with_graph(&g, landmark, other).is_answered());
@@ -584,13 +779,20 @@ mod tests {
     #[test]
     fn oracle_without_path_storage_still_answers_distances() {
         let g = social_graph(89);
-        let oracle =
-            OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(13).store_paths(false).build(&g);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(13)
+            .store_paths(false)
+            .build(&g);
         check_against_bfs(&g, &oracle, 150, 93, 0.2);
         // Path queries between non-landmark nodes miss.
-        let non_landmarks: Vec<NodeId> =
-            (0..g.node_count() as NodeId).filter(|&u| !oracle.is_landmark(u)).take(2).collect();
-        assert_eq!(oracle.path(non_landmarks[0], non_landmarks[1]), PathAnswer::Miss);
+        let non_landmarks: Vec<NodeId> = (0..g.node_count() as NodeId)
+            .filter(|&u| !oracle.is_landmark(u))
+            .take(2)
+            .collect();
+        assert_eq!(
+            oracle.path(non_landmarks[0], non_landmarks[1]),
+            PathAnswer::Miss
+        );
     }
 
     #[test]
@@ -608,12 +810,18 @@ mod tests {
                 assert!(stats.intersection_size > 0);
             }
         }
-        assert!(intersection_seen, "expected at least one intersection-answered query");
+        assert!(
+            intersection_seen,
+            "expected at least one intersection-answered query"
+        );
     }
 
     #[test]
     fn answer_accessors() {
-        let exact = DistanceAnswer::Exact { distance: 3, method: AnswerMethod::SameNode };
+        let exact = DistanceAnswer::Exact {
+            distance: 3,
+            method: AnswerMethod::SameNode,
+        };
         assert!(exact.is_answered());
         assert!(!exact.is_miss());
         assert!(!exact.is_unreachable());
@@ -623,7 +831,11 @@ mod tests {
         assert_eq!(DistanceAnswer::Miss.exact_distance(), None);
         assert_eq!(DistanceAnswer::Miss.method(), None);
 
-        let p = PathAnswer::Exact { path: vec![1, 2], distance: 1, method: AnswerMethod::SameNode };
+        let p = PathAnswer::Exact {
+            path: vec![1, 2],
+            distance: 1,
+            method: AnswerMethod::SameNode,
+        };
         assert!(p.is_answered());
         assert_eq!(p.exact_distance(), Some(1));
         assert_eq!(p.path(), Some(&[1, 2][..]));

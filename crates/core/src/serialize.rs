@@ -7,8 +7,6 @@
 //! byte-sum checksum so corrupt caches are rejected rather than silently
 //! producing wrong answers.
 
-use std::collections::HashMap;
-
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use vicinity_graph::{Distance, NodeId};
@@ -102,7 +100,9 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
     }
     let (body, checksum_bytes) = data.split_at(data.len() - 8);
     let stored = u64::from_le_bytes(
-        checksum_bytes.try_into().map_err(|_| OracleError::Decode("bad checksum".into()))?,
+        checksum_bytes
+            .try_into()
+            .map_err(|_| OracleError::Decode("bad checksum".into()))?,
     );
     let computed: u64 = body.iter().map(|&b| b as u64).sum();
     if stored != computed {
@@ -120,17 +120,23 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
     }
     let version = cur.get_u8();
     if version != FORMAT_VERSION {
-        return Err(OracleError::Decode(format!("unsupported format version {version}")));
+        return Err(OracleError::Decode(format!(
+            "unsupported format version {version}"
+        )));
     }
 
     ensure(&cur, 8 + 1 + 1 + 8 + 1 + 16)?;
-    let alpha = Alpha::new(cur.get_f64_le())
-        .map_err(|e| OracleError::Decode(format!("bad alpha: {e}")))?;
+    let alpha =
+        Alpha::new(cur.get_f64_le()).map_err(|e| OracleError::Decode(format!("bad alpha: {e}")))?;
     let sampling = match cur.get_u8() {
         0 => SamplingStrategy::DegreeProportional,
         1 => SamplingStrategy::Uniform,
         2 => SamplingStrategy::TopDegree,
-        other => return Err(OracleError::Decode(format!("unknown sampling strategy {other}"))),
+        other => {
+            return Err(OracleError::Decode(format!(
+                "unknown sampling strategy {other}"
+            )))
+        }
     };
     let backend = match cur.get_u8() {
         0 => TableBackend::HashMap,
@@ -155,7 +161,10 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
     // Landmark tables.
     ensure(&cur, 8)?;
     let table_count = cur.get_u64_le() as usize;
-    let mut landmark_tables = HashMap::with_capacity(table_count);
+    let mut landmark_tables = vicinity_graph::fast_hash::FastMap::with_capacity_and_hasher(
+        table_count,
+        Default::default(),
+    );
     for _ in 0..table_count {
         ensure(&cur, 12)?;
         let l = cur.get_u32_le();
@@ -232,7 +241,14 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
     }
 
     Ok(VicinityOracle {
-        config: OracleConfig { alpha, sampling, backend, seed, store_paths, threads: 0 },
+        config: OracleConfig {
+            alpha,
+            sampling,
+            backend,
+            seed,
+            store_paths,
+            threads: 0,
+        },
         node_count,
         edge_count,
         landmarks,
@@ -271,7 +287,9 @@ mod tests {
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
 
     fn sample_oracle(seed: u64, store_paths: bool, backend: TableBackend) -> VicinityOracle {
-        let g = SocialGraphConfig::small_test().with_nodes(600).generate(seed);
+        let g = SocialGraphConfig::small_test()
+            .with_nodes(600)
+            .generate(seed);
         OracleBuilder::new(Alpha::PAPER_DEFAULT)
             .seed(seed)
             .store_paths(store_paths)
@@ -295,7 +313,9 @@ mod tests {
 
     #[test]
     fn decoded_oracle_answers_queries_identically() {
-        let g = SocialGraphConfig::small_test().with_nodes(600).generate(133);
+        let g = SocialGraphConfig::small_test()
+            .with_nodes(600)
+            .generate(133);
         let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(133).build(&g);
         let decoded = decode(&encode(&oracle)).unwrap();
         for (s, t) in [(0u32, 5u32), (1, 50), (10, 200), (3, 3)] {
@@ -364,6 +384,9 @@ mod tests {
 
     #[test]
     fn load_missing_file_errors() {
-        assert!(matches!(load("/no/such/oracle.vor"), Err(OracleError::Io(_))));
+        assert!(matches!(
+            load("/no/such/oracle.vor"),
+            Err(OracleError::Io(_))
+        ));
     }
 }

@@ -38,7 +38,11 @@ impl Default for ExperimentWorkload {
         // Scaled down from the paper's 1000 nodes × 10 runs so the full α
         // sweep completes in seconds on a laptop; the binaries accept
         // environment overrides for a full-scale run.
-        ExperimentWorkload { sample_nodes: 100, runs: 3, seed: 2012 }
+        ExperimentWorkload {
+            sample_nodes: 100,
+            runs: 3,
+            seed: 2012,
+        }
     }
 }
 
@@ -72,7 +76,10 @@ pub fn intersection_experiment(
     alphas
         .iter()
         .map(|&alpha| {
-            let config = OracleConfig { alpha, ..base_config.clone() };
+            let config = OracleConfig {
+                alpha,
+                ..base_config.clone()
+            };
             let oracle = OracleBuilder::from_config(config).build(graph);
             let (answered, by_intersection, pairs) = evaluate_workload(graph, &oracle, workload);
             IntersectionPoint {
@@ -161,7 +168,10 @@ pub fn radius_experiment(
     alphas
         .iter()
         .map(|&alpha| {
-            let config = OracleConfig { alpha, ..base_config.clone() };
+            let config = OracleConfig {
+                alpha,
+                ..base_config.clone()
+            };
             let oracle = OracleBuilder::from_config(config).build(graph);
             let max_radius = (0..oracle.node_count() as u32)
                 .filter_map(|u| oracle.vicinity(u))
@@ -191,7 +201,11 @@ mod tests {
     use vicinity_graph::generators::social::SocialGraphConfig;
 
     fn tiny_workload() -> ExperimentWorkload {
-        ExperimentWorkload { sample_nodes: 25, runs: 2, seed: 7 }
+        ExperimentWorkload {
+            sample_nodes: 25,
+            runs: 2,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -200,14 +214,22 @@ mod tests {
         // shifted to larger alpha (hop quantisation); the monotone rise of
         // the answered fraction with alpha is what Figure 2 (left) shows.
         let g = SocialGraphConfig::small_test().generate(121);
-        let alphas = [Alpha::new(4.0).unwrap(), Alpha::new(16.0).unwrap(), Alpha::new(64.0).unwrap()];
+        let alphas = [
+            Alpha::new(4.0).unwrap(),
+            Alpha::new(16.0).unwrap(),
+            Alpha::new(64.0).unwrap(),
+        ];
         let points =
             intersection_experiment(&g, &alphas, &OracleConfig::default(), &tiny_workload());
         assert_eq!(points.len(), 3);
         assert!(points[0].answered_fraction <= points[1].answered_fraction + 0.05);
         assert!(points[1].answered_fraction <= points[2].answered_fraction + 0.05);
         // At the top of the sweep nearly everything is answered.
-        assert!(points[2].answered_fraction > 0.9, "got {}", points[2].answered_fraction);
+        assert!(
+            points[2].answered_fraction > 0.9,
+            "got {}",
+            points[2].answered_fraction
+        );
         // Vicinity sizes grow with alpha.
         assert!(points[0].average_vicinity_size < points[2].average_vicinity_size);
         // Pair counts match the workload: runs * k * (k-1).
@@ -234,7 +256,10 @@ mod tests {
         assert!((last_q - 1.0).abs() < 1e-12);
         // Boundary sizes are a small fraction of the network (paper: <0.4%
         // for the real datasets; allow a loose bound for small stand-ins).
-        assert!(max_fraction < 0.25, "boundary fraction too large: {max_fraction}");
+        assert!(
+            max_fraction < 0.25,
+            "boundary fraction too large: {max_fraction}"
+        );
     }
 
     #[test]

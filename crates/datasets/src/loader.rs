@@ -52,7 +52,10 @@ pub fn try_load_real(which: StandIn) -> Option<Dataset> {
     match load_edge_list_file(&path, which.name()) {
         Ok(dataset) => Some(dataset),
         Err(err) => {
-            eprintln!("warning: failed to load {}: {err}; using synthetic stand-in", path.display());
+            eprintln!(
+                "warning: failed to load {}: {err}; using synthetic stand-in",
+                path.display()
+            );
             None
         }
     }
@@ -60,10 +63,7 @@ pub fn try_load_real(which: StandIn) -> Option<Dataset> {
 
 /// Load any edge-list file as a dataset (largest connected component,
 /// undirected). The dataset name is the file stem unless `name` is given.
-pub fn load_edge_list_file(
-    path: &Path,
-    name: &str,
-) -> Result<Dataset, vicinity_graph::GraphError> {
+pub fn load_edge_list_file(path: &Path, name: &str) -> Result<Dataset, vicinity_graph::GraphError> {
     let parsed = edge_list::load_undirected(path)?;
     let lcc = largest_connected_component(&parsed.graph);
     Ok(Dataset {
@@ -82,8 +82,10 @@ mod tests {
 
     #[test]
     fn expected_file_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            StandIn::all().iter().map(|&s| expected_file_name(s)).collect();
+        let names: std::collections::HashSet<_> = StandIn::all()
+            .iter()
+            .map(|&s| expected_file_name(s))
+            .collect();
         assert_eq!(names.len(), 4);
     }
 
@@ -109,7 +111,8 @@ mod tests {
 
     #[test]
     fn try_load_real_uses_data_dir() {
-        let dir = std::env::temp_dir().join(format!("vicinity-datadir-test-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("vicinity-datadir-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         // Without the env var: no real data.
         std::env::remove_var("VICINITY_DATA_DIR");

@@ -12,8 +12,7 @@
 //! and generator seed, so repeated experiment runs skip regeneration.
 
 use std::path::PathBuf;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::generators::social::SocialGraphConfig;
@@ -35,7 +34,12 @@ pub enum StandIn {
 impl StandIn {
     /// All four datasets, in the order of Table 2.
     pub fn all() -> [StandIn; 4] {
-        [StandIn::Dblp, StandIn::Flickr, StandIn::Orkut, StandIn::LiveJournal]
+        [
+            StandIn::Dblp,
+            StandIn::Flickr,
+            StandIn::Orkut,
+            StandIn::LiveJournal,
+        ]
     }
 
     /// Dataset name as used in the paper's tables.
@@ -204,7 +208,11 @@ impl Scale {
     /// Resolve the scale from the `VICINITY_SCALE` environment variable
     /// (`tiny`, `small`, `default`, `large`), defaulting to `Default`.
     pub fn from_env() -> Scale {
-        match std::env::var("VICINITY_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("VICINITY_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "small" => Scale::Small,
             "large" => Scale::Large,
@@ -251,7 +259,9 @@ impl Dataset {
         if let Some(real) = crate::loader::try_load_real(which) {
             return real;
         }
-        let _guard = CACHE_LOCK.lock();
+        let _guard = CACHE_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let cache_path = cache_path(which, scale);
         if let Ok(graph) = binary::load(&cache_path) {
             return Dataset {
@@ -286,7 +296,10 @@ impl Dataset {
 
     /// All four stand-ins at the given scale.
     pub fn all_stand_ins(scale: Scale) -> Vec<Dataset> {
-        StandIn::all().iter().map(|&s| Dataset::stand_in(s, scale)).collect()
+        StandIn::all()
+            .iter()
+            .map(|&s| Dataset::stand_in(s, scale))
+            .collect()
     }
 
     /// Number of nodes.
@@ -336,12 +349,19 @@ mod tests {
 
     #[test]
     fn node_counts_preserve_table2_ordering() {
-        let sizes: Vec<usize> =
-            StandIn::all().iter().map(|s| s.config(Scale::Default).nodes).collect();
-        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes must increase: {sizes:?}");
+        let sizes: Vec<usize> = StandIn::all()
+            .iter()
+            .map(|s| s.config(Scale::Default).nodes)
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] < w[1]),
+            "sizes must increase: {sizes:?}"
+        );
         // Orkut must be the densest stand-in, as in the paper.
-        let densities: Vec<f64> =
-            StandIn::all().iter().map(|s| s.config(Scale::Default).average_degree).collect();
+        let densities: Vec<f64> = StandIn::all()
+            .iter()
+            .map(|s| s.config(Scale::Default).average_degree)
+            .collect();
         let orkut_density = StandIn::Orkut.config(Scale::Default).average_degree;
         assert!(densities.iter().all(|&d| d <= orkut_density));
     }
@@ -360,7 +380,12 @@ mod tests {
             let d = Dataset::generate_uncached(which, Scale::Tiny);
             assert_eq!(d.name, which.name());
             assert!(!d.from_real_data);
-            assert!(d.node_count() > 300, "{} too small: {}", d.name, d.node_count());
+            assert!(
+                d.node_count() > 300,
+                "{} too small: {}",
+                d.name,
+                d.node_count()
+            );
             assert!(connected_components(&d.graph).is_connected());
             let stats = degree_stats(&d.graph).unwrap();
             assert!(

@@ -40,9 +40,7 @@ impl PairWorkload {
         }
         PairWorkload {
             pairs,
-            description: format!(
-                "paper-sampling({sample_nodes} nodes x {runs} runs, seed {seed})"
-            ),
+            description: format!("paper-sampling({sample_nodes} nodes x {runs} runs, seed {seed})"),
         }
     }
 
@@ -57,7 +55,10 @@ impl PairWorkload {
 
     /// Build a workload from an explicit pair list.
     pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>, description: impl Into<String>) -> Self {
-        PairWorkload { pairs, description: description.into() }
+        PairWorkload {
+            pairs,
+            description: description.into(),
+        }
     }
 
     /// The pairs.

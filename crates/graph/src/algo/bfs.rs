@@ -37,9 +37,7 @@ impl BfsTree {
     /// Reconstruct the path from the source to `v` (inclusive of both
     /// endpoints), or `None` when `v` is unreachable.
     pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
-        if self.distance_to(v).is_none() {
-            return None;
-        }
+        self.distance_to(v)?;
         let mut path = vec![v];
         let mut cur = v;
         while cur != self.source {
@@ -83,7 +81,12 @@ pub fn bfs_tree(graph: &CsrGraph, source: NodeId) -> BfsTree {
         }
     }
 
-    BfsTree { distances, parents, source, reached }
+    BfsTree {
+        distances,
+        parents,
+        source,
+        reached,
+    }
 }
 
 /// Point-to-point BFS distance; stops as soon as `target` is settled.
@@ -135,6 +138,102 @@ pub fn bounded_bfs(graph: &CsrGraph, source: NodeId, radius: Distance) -> Vec<Vi
     bfs_until(graph, source, |visited| visited.distance > radius)
 }
 
+/// Reusable dense scratch for running many bounded BFS traversals over the
+/// same graph (one per node during oracle construction).
+///
+/// [`bfs_until`] keeps its memory proportional to the explored region via a
+/// hash map, which is the right trade-off for a one-off call — but when a
+/// builder runs one bounded BFS from *every* node, per-visit hashing
+/// dominates construction time. This scratch instead keeps dense
+/// stamp-versioned arrays that are allocated once and reset in O(1) per
+/// traversal (by bumping the stamp), making each traversal's cost purely
+/// proportional to the edges it explores.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedBfsScratch {
+    stamp: Vec<u32>,
+    distance: Vec<Distance>,
+    parent: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+    current: u32,
+}
+
+impl BoundedBfsScratch {
+    /// Empty scratch; buffers grow to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for a graph with `n` nodes.
+    pub fn with_node_capacity(n: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.ensure_capacity(n);
+        scratch
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.distance.resize(n, 0);
+            self.parent.resize(n, INVALID_NODE);
+        }
+    }
+
+    fn bump_stamp(&mut self) -> u32 {
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            self.stamp.iter_mut().for_each(|x| *x = 0);
+            self.current = 1;
+        }
+        self.current
+    }
+
+    /// Equivalent of [`bounded_bfs`] — visits exactly the nodes at distance
+    /// `<= radius` from `source`, in non-decreasing distance order — but
+    /// reusing this scratch, so repeated calls do not rehash or reallocate.
+    pub fn bounded_bfs(
+        &mut self,
+        graph: &CsrGraph,
+        source: NodeId,
+        radius: Distance,
+    ) -> Vec<VisitedNode> {
+        let n = graph.node_count();
+        if (source as usize) >= n {
+            return Vec::new();
+        }
+        self.ensure_capacity(n);
+        let stamp = self.bump_stamp();
+
+        self.queue.clear();
+        self.stamp[source as usize] = stamp;
+        self.distance[source as usize] = 0;
+        self.parent[source as usize] = INVALID_NODE;
+        self.queue.push_back(source);
+
+        let mut visited: Vec<VisitedNode> = Vec::new();
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.distance[u as usize];
+            visited.push(VisitedNode {
+                node: u,
+                distance: du,
+                parent: self.parent[u as usize],
+            });
+            if du == radius {
+                // Deeper neighbours would exceed the bound; skip expansion.
+                continue;
+            }
+            for &v in graph.neighbors(u) {
+                if self.stamp[v as usize] != stamp {
+                    self.stamp[v as usize] = stamp;
+                    self.distance[v as usize] = du + 1;
+                    self.parent[v as usize] = u;
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        visited
+    }
+}
+
 /// BFS that visits nodes in non-decreasing distance order and stops (without
 /// recording the node) at the first node for which `stop` returns true.
 /// All previously visited nodes are returned in visit order.
@@ -156,7 +255,11 @@ where
     // the whole graph — essential for the O(α√n) ball-construction cost.
     let mut dist: std::collections::HashMap<NodeId, Distance> = std::collections::HashMap::new();
     let mut queue: VecDeque<VisitedNode> = VecDeque::new();
-    let start = VisitedNode { node: source, distance: 0, parent: INVALID_NODE };
+    let start = VisitedNode {
+        node: source,
+        distance: 0,
+        parent: INVALID_NODE,
+    };
     dist.insert(source, 0);
     queue.push_back(start);
 
@@ -166,9 +269,13 @@ where
         }
         visited.push(v);
         for &w in graph.neighbors(v.node) {
-            if !dist.contains_key(&w) {
-                dist.insert(w, v.distance + 1);
-                queue.push_back(VisitedNode { node: w, distance: v.distance + 1, parent: v.node });
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(v.distance + 1);
+                queue.push_back(VisitedNode {
+                    node: w,
+                    distance: v.distance + 1,
+                    parent: v.node,
+                });
             }
         }
     }
@@ -210,7 +317,10 @@ pub fn multi_source_bfs(graph: &CsrGraph, sources: &[NodeId]) -> MultiSourceBfs 
             }
         }
     }
-    MultiSourceBfs { distances, nearest_source }
+    MultiSourceBfs {
+        distances,
+        nearest_source,
+    }
 }
 
 #[cfg(test)]
@@ -301,8 +411,8 @@ mod tests {
     #[test]
     fn bfs_until_stop_predicate() {
         let g = classic::star(10); // hub 0 with 10 leaves
-        // Stop as soon as we would settle a node at distance 2 (none exist,
-        // so everything is visited).
+                                   // Stop as soon as we would settle a node at distance 2 (none exist,
+                                   // so everything is visited).
         let all = bfs_until(&g, 0, |v| v.distance > 1);
         assert_eq!(all.len(), 11);
         // Stop after 3 visited nodes.
@@ -324,11 +434,42 @@ mod tests {
             if v.node == 12 {
                 assert_eq!(v.parent, INVALID_NODE);
             } else {
-                let p = by_node.get(&v.parent).expect("parent must be visited earlier");
+                let p = by_node
+                    .get(&v.parent)
+                    .expect("parent must be visited earlier");
                 assert_eq!(p.distance + 1, v.distance);
                 assert!(g.has_edge(v.parent, v.node));
             }
         }
+    }
+
+    #[test]
+    fn scratch_bounded_bfs_matches_pure_function() {
+        let g = classic::grid(9, 7);
+        let mut scratch = BoundedBfsScratch::new();
+        for source in [0u32, 13, 62] {
+            for radius in 0..6 {
+                assert_eq!(
+                    scratch.bounded_bfs(&g, source, radius),
+                    bounded_bfs(&g, source, radius),
+                    "source {source} radius {radius}"
+                );
+            }
+        }
+        // Out-of-range sources and reuse across graphs of different sizes.
+        assert!(scratch.bounded_bfs(&g, 1000, 3).is_empty());
+        let small = classic::path(4);
+        assert_eq!(scratch.bounded_bfs(&small, 0, 2), bounded_bfs(&small, 0, 2));
+    }
+
+    #[test]
+    fn scratch_stamp_wraparound() {
+        let g = classic::path(5);
+        let mut scratch = BoundedBfsScratch::with_node_capacity(5);
+        scratch.current = u32::MAX - 1;
+        assert_eq!(scratch.bounded_bfs(&g, 0, 4).len(), 5);
+        assert_eq!(scratch.bounded_bfs(&g, 0, 4).len(), 5);
+        assert_eq!(scratch.bounded_bfs(&g, 4, 1).len(), 2);
     }
 
     #[test]

@@ -122,7 +122,11 @@ pub fn largest_connected_component(graph: &CsrGraph) -> LargestComponent {
             }
         }
     }
-    LargestComponent { graph: builder.build_undirected(), old_of_new, new_of_old }
+    LargestComponent {
+        graph: builder.build_undirected(),
+        old_of_new,
+        new_of_old,
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +196,10 @@ mod tests {
         // Structure is preserved: path of length 3 in the new labels.
         let a = lcc.new_of_old[0];
         let d = lcc.new_of_old[3];
-        assert_eq!(crate::algo::bfs::bfs_distance_between(&lcc.graph, a, d), Some(3));
+        assert_eq!(
+            crate::algo::bfs::bfs_distance_between(&lcc.graph, a, d),
+            Some(3)
+        );
     }
 
     #[test]

@@ -117,7 +117,7 @@ pub fn power_law_exponent(graph: &CsrGraph, d_min: u32) -> Option<f64> {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
-    use crate::generators::{classic, barabasi_albert};
+    use crate::generators::{barabasi_albert, classic};
     use rand::SeedableRng;
 
     #[test]

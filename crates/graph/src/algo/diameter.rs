@@ -36,7 +36,11 @@ pub fn exact_diameter(graph: &CsrGraph) -> Option<Distance> {
 /// `sweeps` times from random start nodes: BFS to the farthest node, then
 /// BFS again from there; the second eccentricity is a lower bound on the
 /// diameter that is exact on trees and very tight on social graphs.
-pub fn double_sweep_diameter<R: Rng>(graph: &CsrGraph, sweeps: usize, rng: &mut R) -> Option<Distance> {
+pub fn double_sweep_diameter<R: Rng>(
+    graph: &CsrGraph,
+    sweeps: usize,
+    rng: &mut R,
+) -> Option<Distance> {
     let n = graph.node_count();
     if n == 0 {
         return None;
@@ -48,7 +52,12 @@ pub fn double_sweep_diameter<R: Rng>(graph: &CsrGraph, sweeps: usize, rng: &mut 
         let d1 = bfs::bfs_distances(graph, start);
         let far = farthest_reachable(&d1);
         let d2 = bfs::bfs_distances(graph, far);
-        let ecc = d2.iter().copied().filter(|&x| x != INFINITY).max().unwrap_or(0);
+        let ecc = d2
+            .iter()
+            .copied()
+            .filter(|&x| x != INFINITY)
+            .max()
+            .unwrap_or(0);
         best = best.max(ecc);
     }
     Some(best)

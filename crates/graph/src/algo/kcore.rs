@@ -44,7 +44,10 @@ impl CoreDecomposition {
 pub fn core_decomposition(graph: &CsrGraph) -> CoreDecomposition {
     let n = graph.node_count();
     if n == 0 {
-        return CoreDecomposition { coreness: Vec::new(), degeneracy: 0 };
+        return CoreDecomposition {
+            coreness: Vec::new(),
+            degeneracy: 0,
+        };
     }
     let mut degree: Vec<u32> = (0..n).map(|u| graph.degree(u as NodeId) as u32).collect();
     let max_degree = *degree.iter().max().unwrap_or(&0) as usize;
@@ -98,7 +101,10 @@ pub fn core_decomposition(graph: &CsrGraph) -> CoreDecomposition {
         }
     }
     let degeneracy = coreness.iter().copied().max().unwrap_or(0);
-    CoreDecomposition { coreness, degeneracy }
+    CoreDecomposition {
+        coreness,
+        degeneracy,
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +139,10 @@ mod tests {
         let g = classic::star(20);
         let d = core_decomposition(&g);
         assert_eq!(d.degeneracy, 1);
-        assert_eq!(d.coreness[0], 1, "the hub's coreness collapses with its leaves");
+        assert_eq!(
+            d.coreness[0], 1,
+            "the hub's coreness collapses with its leaves"
+        );
     }
 
     #[test]
@@ -173,7 +182,10 @@ mod tests {
         // core_size is non-increasing in k.
         let sizes: Vec<usize> = (0..=d.degeneracy).map(|k| d.core_size(k)).collect();
         assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
-        assert!(d.degeneracy >= 2, "a social graph should have a non-trivial core");
+        assert!(
+            d.degeneracy >= 2,
+            "a social graph should have a non-trivial core"
+        );
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
         assert_eq!(hub_hits, trials, "hub has clamped probability 1");
         let leaf_rate = leaf_hits as f64 / (trials * 400) as f64;
         let expected = landmark_probability(401, 1.0, 1);
-        assert!((leaf_rate - expected).abs() < 0.05, "leaf rate {leaf_rate} vs {expected}");
+        assert!(
+            (leaf_rate - expected).abs() < 0.05,
+            "leaf rate {leaf_rate} vs {expected}"
+        );
     }
 
     #[test]
@@ -219,7 +222,10 @@ mod tests {
         let n = g.node_count() as f64;
         let m = g.edge_count() as f64;
         let exact = 4.0 * m / (4.0 * n.sqrt());
-        assert!((e4 - exact).abs() / exact < 0.05, "e4 {e4} vs exact {exact}");
+        assert!(
+            (e4 - exact).abs() / exact < 0.05,
+            "e4 {e4} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl GraphBuilder {
     /// Create a builder that will produce a graph with at least `n` nodes,
     /// even if some of them end up isolated.
     pub fn with_node_count(n: usize) -> Self {
-        GraphBuilder { min_nodes: n, ..Self::default() }
+        GraphBuilder {
+            min_nodes: n,
+            ..Self::default()
+        }
     }
 
     /// Pre-allocate space for `m` edges.
@@ -199,7 +202,8 @@ impl GraphBuilder {
             }
         };
         // Canonicalise and keep the minimum weight per undirected edge.
-        let mut best: HashMap<(NodeId, NodeId), Distance> = HashMap::with_capacity(self.edges.len());
+        let mut best: HashMap<(NodeId, NodeId), Distance> =
+            HashMap::with_capacity(self.edges.len());
         for (i, &(u, v)) in self.edges.iter().enumerate() {
             let key = if u < v { (u, v) } else { (v, u) };
             let w = weights_of(i);
@@ -263,7 +267,11 @@ fn assemble_symmetric(
 
 /// Produce, in CSR target order, the weight of every arc for a symmetric
 /// weighted assembly of `canon`/`weights`.
-fn interleaved_weights(n: usize, canon: &[(NodeId, NodeId)], weights: &[Distance]) -> Vec<Distance> {
+fn interleaved_weights(
+    n: usize,
+    canon: &[(NodeId, NodeId)],
+    weights: &[Distance],
+) -> Vec<Distance> {
     // Build a lookup from canonical edge to weight, then walk the same
     // assembly order as `assemble_symmetric` (including the final per-list
     // sort, which we reproduce by sorting (target, weight) pairs).

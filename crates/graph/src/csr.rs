@@ -52,9 +52,16 @@ impl CsrGraph {
         }
         let n = offsets.len() - 1;
         if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= n) {
-            return Err(GraphError::NodeOutOfRange { node: bad, node_count: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: bad,
+                node_count: n,
+            });
         }
-        Ok(CsrGraph { offsets, targets, undirected })
+        Ok(CsrGraph {
+            offsets,
+            targets,
+            undirected,
+        })
     }
 
     /// Number of nodes in the graph.
@@ -152,7 +159,7 @@ impl CsrGraph {
     pub fn validate(&self) -> Result<()> {
         // Re-run the structural checks from `from_parts` on our own data.
         Self::from_parts(self.offsets.clone(), self.targets.clone(), self.undirected)?;
-        if self.undirected && self.targets.len() % 2 != 0 {
+        if self.undirected && !self.targets.len().is_multiple_of(2) {
             return Err(GraphError::Decode(
                 "undirected graph must store an even number of arcs".into(),
             ));
@@ -231,7 +238,13 @@ mod tests {
     #[test]
     fn from_parts_rejects_out_of_range_target() {
         let err = CsrGraph::from_parts(vec![0, 1], vec![5], false).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, node_count: 1 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 1
+            }
+        ));
     }
 
     #[test]

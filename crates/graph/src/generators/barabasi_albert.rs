@@ -89,8 +89,17 @@ mod tests {
     fn degree_distribution_is_heavy_tailed() {
         let g = generate(2000, 3, &mut rng(3));
         let s = degree_stats(&g).unwrap();
-        assert!(s.min >= 2, "every node attaches with at least m edges (min {})", s.min);
-        assert!(s.max as f64 > 5.0 * s.mean, "hub degree {} should far exceed mean {}", s.max, s.mean);
+        assert!(
+            s.min >= 2,
+            "every node attaches with at least m edges (min {})",
+            s.min
+        );
+        assert!(
+            s.max as f64 > 5.0 * s.mean,
+            "hub degree {} should far exceed mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]

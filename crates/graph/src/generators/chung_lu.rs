@@ -52,7 +52,11 @@ pub fn generate<R: Rng>(weights: &[f64], rng: &mut R) -> CsrGraph {
     }
     // Sort nodes by decreasing weight; the skipping argument requires it.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &z| weights[z].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &z| {
+        weights[z]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let sorted_weights: Vec<f64> = order.iter().map(|&i| weights[i].max(0.0)).collect();
     let total: f64 = sorted_weights.iter().sum();
     if total <= 0.0 {
@@ -122,7 +126,7 @@ mod tests {
     fn weights_respect_bounds() {
         let w = power_law_weights(1000, 2.5, 2.0, 100.0, &mut rng(1));
         assert_eq!(w.len(), 1000);
-        assert!(w.iter().all(|&x| x >= 2.0 - 1e-9 && x <= 100.0 + 1e-9));
+        assert!(w.iter().all(|&x| (2.0 - 1e-9..=100.0 + 1e-9).contains(&x)));
     }
 
     #[test]
@@ -151,7 +155,12 @@ mod tests {
     fn realized_degrees_are_heavy_tailed() {
         let g = power_law_graph(3000, 2.3, 12.0, &mut rng(4));
         let s = degree_stats(&g).unwrap();
-        assert!(s.max as f64 > 4.0 * s.mean, "max {} vs mean {}", s.max, s.mean);
+        assert!(
+            s.max as f64 > 4.0 * s.mean,
+            "max {} vs mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]

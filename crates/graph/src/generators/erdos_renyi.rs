@@ -102,8 +102,10 @@ mod tests {
         let g = gnp(n, p, &mut rng(5));
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.edge_count() as f64;
-        assert!((got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
-            "edge count {got} too far from expectation {expected}");
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "edge count {got} too far from expectation {expected}"
+        );
     }
 
     #[test]

@@ -28,8 +28,12 @@ pub struct RmatProbabilities {
 
 impl RmatProbabilities {
     /// The Graph500 reference parameters (a=0.57, b=0.19, c=0.19, d=0.05).
-    pub const GRAPH500: RmatProbabilities =
-        RmatProbabilities { a: 0.57, b: 0.19, c: 0.19, d: 0.05 };
+    pub const GRAPH500: RmatProbabilities = RmatProbabilities {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
 
     /// Validate that the probabilities are non-negative and sum to ~1.
     pub fn is_valid(&self) -> bool {
@@ -47,7 +51,11 @@ pub fn generate<R: Rng>(
     probs: RmatProbabilities,
     rng: &mut R,
 ) -> CsrGraph {
-    let probs = if probs.is_valid() { probs } else { RmatProbabilities::GRAPH500 };
+    let probs = if probs.is_valid() {
+        probs
+    } else {
+        RmatProbabilities::GRAPH500
+    };
     let n = 1usize << scale;
     let m = edge_factor * n;
     let mut b = GraphBuilder::with_capacity(n, m);
@@ -93,8 +101,20 @@ mod tests {
     #[test]
     fn graph500_probabilities_are_valid() {
         assert!(RmatProbabilities::GRAPH500.is_valid());
-        assert!(!RmatProbabilities { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }.is_valid());
-        assert!(!RmatProbabilities { a: -0.1, b: 0.5, c: 0.3, d: 0.3 }.is_valid());
+        assert!(!RmatProbabilities {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .is_valid());
+        assert!(!RmatProbabilities {
+            a: -0.1,
+            b: 0.5,
+            c: 0.3,
+            d: 0.3
+        }
+        .is_valid());
     }
 
     #[test]
@@ -109,12 +129,22 @@ mod tests {
     fn degrees_are_skewed() {
         let g = generate(11, 8, RmatProbabilities::GRAPH500, &mut rng(2));
         let s = degree_stats(&g).unwrap();
-        assert!(s.max as f64 > 5.0 * s.mean, "R-MAT should have hubs: max {} mean {}", s.max, s.mean);
+        assert!(
+            s.max as f64 > 5.0 * s.mean,
+            "R-MAT should have hubs: max {} mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]
     fn invalid_probabilities_fall_back_to_graph500() {
-        let bad = RmatProbabilities { a: 2.0, b: 0.0, c: 0.0, d: 0.0 };
+        let bad = RmatProbabilities {
+            a: 2.0,
+            b: 0.0,
+            c: 0.0,
+            d: 0.0,
+        };
         let g = generate(6, 4, bad, &mut rng(3));
         assert_eq!(g.node_count(), 64);
     }

@@ -57,7 +57,11 @@ impl SocialGraphConfig {
     /// A small configuration (about 2 000 nodes) suitable for unit tests and
     /// doc examples; generates in a few milliseconds.
     pub fn small_test() -> Self {
-        SocialGraphConfig { nodes: 2_000, average_degree: 8.0, ..Self::default() }
+        SocialGraphConfig {
+            nodes: 2_000,
+            average_degree: 8.0,
+            ..Self::default()
+        }
     }
 
     /// Builder-style setter for the node count.
@@ -106,13 +110,14 @@ pub fn generate<R: Rng>(config: &SocialGraphConfig, rng: &mut R) -> CsrGraph {
     }
     let nodes: Vec<NodeId> = backbone.nodes().collect();
     for _ in 0..config.closure_rounds {
-        let to_add =
-            ((backbone.edge_count() as f64) * config.closure_fraction).round() as usize;
+        let to_add = ((backbone.edge_count() as f64) * config.closure_fraction).round() as usize;
         let mut added = 0usize;
         let mut attempts = 0usize;
         while added < to_add && attempts < to_add * 10 {
             attempts += 1;
-            let Some(&center) = nodes.choose(rng) else { break };
+            let Some(&center) = nodes.choose(rng) else {
+                break;
+            };
             let neigh = backbone.neighbors(center);
             if neigh.len() < 2 {
                 continue;
@@ -167,7 +172,10 @@ mod tests {
     #[test]
     fn generated_graph_is_connected_and_sized() {
         let g = SocialGraphConfig::small_test().generate(1);
-        assert!(g.node_count() > 1000, "largest component should retain most nodes");
+        assert!(
+            g.node_count() > 1000,
+            "largest component should retain most nodes"
+        );
         assert!(connected_components(&g).is_connected());
     }
 
@@ -209,7 +217,10 @@ mod tests {
 
     #[test]
     fn zero_nodes_gives_empty_graph() {
-        let c = SocialGraphConfig { nodes: 0, ..Default::default() };
+        let c = SocialGraphConfig {
+            nodes: 0,
+            ..Default::default()
+        };
         assert_eq!(c.generate(1).node_count(), 0);
     }
 

@@ -40,11 +40,11 @@ pub fn generate<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph 
         .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
         .collect();
 
-    for i in 0..edges.len() {
+    for edge in edges.iter_mut() {
         if rng.gen::<f64>() >= beta {
             continue;
         }
-        let (u, old_v) = edges[i];
+        let (u, old_v) = *edge;
         let new_v = rng.gen_range(0..n as NodeId);
         if new_v == u {
             continue;
@@ -56,7 +56,7 @@ pub fn generate<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph 
         let old_key = if u < old_v { (u, old_v) } else { (old_v, u) };
         present.remove(&old_key);
         present.insert(new_key);
-        edges[i] = (u, new_v);
+        *edge = (u, new_v);
     }
 
     let mut b = GraphBuilder::with_node_count(n);
@@ -92,8 +92,10 @@ mod tests {
     fn ring_lattice_has_high_clustering() {
         let lattice = generate(100, 3, 0.0, &mut rng(2));
         let rewired = generate(100, 3, 1.0, &mut rng(2));
-        assert!(average_clustering(&lattice) > average_clustering(&rewired),
-            "rewiring should destroy clustering");
+        assert!(
+            average_clustering(&lattice) > average_clustering(&rewired),
+            "rewiring should destroy clustering"
+        );
         assert!(average_clustering(&lattice) > 0.4);
     }
 

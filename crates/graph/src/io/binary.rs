@@ -157,7 +157,10 @@ mod tests {
         let mut bytes = encode(&g).to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        assert!(decode(&bytes).is_err(), "checksum must catch payload corruption");
+        assert!(
+            decode(&bytes).is_err(),
+            "checksum must catch payload corruption"
+        );
     }
 
     #[test]

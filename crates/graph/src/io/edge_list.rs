@@ -28,7 +28,10 @@ impl ParsedEdgeList {
     pub fn dense_id(&self, original: u64) -> Option<NodeId> {
         // original_ids is in first-seen order, so we need a linear scan; this
         // accessor exists for tests and small lookups only.
-        self.original_ids.iter().position(|&o| o == original).map(|i| i as NodeId)
+        self.original_ids
+            .iter()
+            .position(|&o| o == original)
+            .map(|i| i as NodeId)
     }
 }
 
@@ -82,8 +85,15 @@ fn parse<R: Read>(reader: R, undirected: bool) -> Result<ParsedEdgeList> {
         builder.add_edge(u, v);
     }
 
-    let graph = if undirected { builder.build_undirected() } else { builder.build_directed() };
-    Ok(ParsedEdgeList { graph, original_ids })
+    let graph = if undirected {
+        builder.build_undirected()
+    } else {
+        builder.build_directed()
+    };
+    Ok(ParsedEdgeList {
+        graph,
+        original_ids,
+    })
 }
 
 /// Load an undirected edge list from a file path.
@@ -96,7 +106,12 @@ pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<ParsedEdgeList> {
 /// edge once) preceded by a comment header.
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<()> {
     writeln!(writer, "# vicinity-graph edge list")?;
-    writeln!(writer, "# nodes: {} edges: {}", graph.node_count(), graph.edge_count())?;
+    writeln!(
+        writer,
+        "# nodes: {} edges: {}",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(writer, "{u}\t{v}")?;
     }
@@ -153,7 +168,10 @@ mod tests {
     #[test]
     fn parse_rejects_non_numeric_ids() {
         let input = "a b\n";
-        assert!(matches!(parse_undirected(input.as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(
+            parse_undirected(input.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 pub mod algo;
 pub mod builder;
 pub mod csr;
+pub mod fast_hash;
 pub mod generators;
 pub mod io;
 pub mod properties;
@@ -85,7 +86,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node id {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -114,11 +118,17 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            node_count: 5,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('5'));
 
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::Io("disk on fire".into());

@@ -39,7 +39,12 @@ impl WeightedCsrGraph {
         }
         // Reuse CsrGraph's validation for the structural part.
         CsrGraph::from_parts(offsets.clone(), targets.clone(), undirected)?;
-        Ok(WeightedCsrGraph { offsets, targets, weights, undirected })
+        Ok(WeightedCsrGraph {
+            offsets,
+            targets,
+            weights,
+            undirected,
+        })
     }
 
     /// Build a weighted view of an unweighted graph where every edge has
@@ -152,8 +157,7 @@ mod tests {
 
     #[test]
     fn from_parts_rejects_length_mismatch() {
-        let err =
-            WeightedCsrGraph::from_parts(vec![0, 1], vec![0], vec![], false).unwrap_err();
+        let err = WeightedCsrGraph::from_parts(vec![0, 1], vec![0], vec![], false).unwrap_err();
         assert!(matches!(err, GraphError::Decode(_)));
     }
 

@@ -17,10 +17,16 @@ fn assert_well_formed(graph: &CsrGraph) {
         // No self loops.
         assert!(!neighbors.contains(&u), "self loop at {u}");
         // Sorted and deduplicated adjacency.
-        assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicate adjacency at {u}");
+        assert!(
+            neighbors.windows(2).all(|w| w[0] < w[1]),
+            "unsorted/duplicate adjacency at {u}"
+        );
         // Symmetry: every arc has its reverse.
         for &v in neighbors {
-            assert!(graph.neighbors(v).contains(&u), "missing reverse arc {v}->{u}");
+            assert!(
+                graph.neighbors(v).contains(&u),
+                "missing reverse arc {v}->{u}"
+            );
         }
     }
 }

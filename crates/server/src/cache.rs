@@ -1,0 +1,350 @@
+//! Bounded, sharded LRU cache for distance answers.
+//!
+//! Social-network query traffic is heavily skewed (hot users appear in many
+//! queries), so a small cache in front of the oracle absorbs repeated pairs
+//! at the cost of one hash probe. Keys are normalised `(min, max)` pairs —
+//! the graphs are undirected, so `d(s,t) = d(t,s)` and both orientations
+//! share an entry. Only *definitive* answers (exact distances and proven
+//! unreachability) are cached; index misses are not, so enabling a fallback
+//! later still resolves them.
+//!
+//! The cache is split into independently locked shards to keep worker
+//! threads from serialising on one mutex; each shard is a classic
+//! doubly-linked-list LRU over a slab, so hits and insertions are O(1) and
+//! the capacity bound is exact.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vicinity_graph::{Distance, NodeId};
+
+/// Sentinel stored for "provably unreachable".
+const UNREACHABLE: u32 = u32::MAX;
+
+/// Slab index meaning "none".
+const NIL: u32 = u32::MAX;
+
+/// A cached definitive answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedAnswer {
+    /// Exact distance in hops.
+    Exact(Distance),
+    /// The endpoints are in different components.
+    Unreachable,
+}
+
+impl CachedAnswer {
+    fn encode(self) -> u32 {
+        match self {
+            CachedAnswer::Exact(d) => {
+                debug_assert!(
+                    d < UNREACHABLE,
+                    "distance overlaps the unreachable sentinel"
+                );
+                d
+            }
+            CachedAnswer::Unreachable => UNREACHABLE,
+        }
+    }
+
+    fn decode(raw: u32) -> Self {
+        if raw == UNREACHABLE {
+            CachedAnswer::Unreachable
+        } else {
+            CachedAnswer::Exact(raw)
+        }
+    }
+}
+
+struct Node {
+    key: u64,
+    value: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// One LRU shard: slab-backed doubly linked list + index map.
+struct Shard {
+    map: HashMap<u64, u32>,
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let node = &self.nodes[idx as usize];
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let node = &mut self.nodes[idx as usize];
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: u64) -> Option<u32> {
+        let idx = *self.map.get(&key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(self.nodes[idx as usize].value)
+    }
+
+    fn insert(&mut self, key: u64, value: u32) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx as usize].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.nodes.len() < self.capacity {
+            self.nodes.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        } else {
+            // Evict the least-recently-used entry and reuse its slot.
+            let idx = self.tail;
+            debug_assert_ne!(
+                idx, NIL,
+                "non-zero capacity shard must have a tail when full"
+            );
+            self.unlink(idx);
+            let node = &mut self.nodes[idx as usize];
+            let old_key = node.key;
+            node.key = key;
+            node.value = value;
+            self.map.remove(&old_key);
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Sharded bounded LRU over normalised query pairs.
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Bit mask selecting a shard from a key hash (shard count is a power
+    /// of two).
+    shard_mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` answers, split over `shards`
+    /// independently locked shards (rounded up to a power of two).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(shard_count).max(1);
+        QueryCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            shard_mask: (shard_count - 1) as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Normalise an endpoint pair into a cache key: undirected queries are
+    /// symmetric, so `(s, t)` and `(t, s)` map to the same `(min, max)` key.
+    #[inline]
+    pub fn key(s: NodeId, t: NodeId) -> u64 {
+        let (lo, hi) = if s <= t { (s, t) } else { (t, s) };
+        ((lo as u64) << 32) | hi as u64
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+        // Fibonacci hash so nearby node ids spread over shards.
+        let h = key.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
+    /// Look up the answer for `(s, t)`, refreshing its recency on a hit.
+    pub fn get(&self, s: NodeId, t: NodeId) -> Option<CachedAnswer> {
+        let key = Self::key(s, t);
+        let found = self
+            .shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match found {
+            Some(raw) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(CachedAnswer::decode(raw))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a definitive answer for `(s, t)`, evicting the least recently
+    /// used entry of the shard when full.
+    pub fn insert(&self, s: NodeId, t: NodeId, answer: CachedAnswer) {
+        let key = Self::key(s, t);
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, answer.encode());
+    }
+
+    /// Number of cached answers across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no answers are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probe hits since construction (all threads).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probe misses since construction (all threads).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_orientation_invariant() {
+        assert_eq!(QueryCache::key(3, 9), QueryCache::key(9, 3));
+        assert_ne!(QueryCache::key(3, 9), QueryCache::key(3, 8));
+        assert_eq!(QueryCache::key(7, 7), ((7u64) << 32) | 7);
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache = QueryCache::new(64, 4);
+        assert!(cache.get(1, 2).is_none());
+        cache.insert(1, 2, CachedAnswer::Exact(5));
+        cache.insert(8, 3, CachedAnswer::Unreachable);
+        assert_eq!(cache.get(2, 1), Some(CachedAnswer::Exact(5)));
+        assert_eq!(cache.get(3, 8), Some(CachedAnswer::Unreachable));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_is_exact_and_lru_order_respected() {
+        // One shard of capacity 3 so eviction order is fully observable.
+        let cache = QueryCache::new(3, 1);
+        cache.insert(0, 1, CachedAnswer::Exact(1));
+        cache.insert(0, 2, CachedAnswer::Exact(2));
+        cache.insert(0, 3, CachedAnswer::Exact(3));
+        // Touch (0,1) so (0,2) becomes the LRU entry.
+        assert!(cache.get(0, 1).is_some());
+        cache.insert(0, 4, CachedAnswer::Exact(4));
+        assert_eq!(cache.len(), 3);
+        assert!(
+            cache.get(0, 2).is_none(),
+            "LRU entry must have been evicted"
+        );
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 3).is_some());
+        assert!(cache.get(0, 4).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growing() {
+        let cache = QueryCache::new(2, 1);
+        cache.insert(1, 2, CachedAnswer::Exact(9));
+        cache.insert(1, 2, CachedAnswer::Exact(7));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1, 2), Some(CachedAnswer::Exact(7)));
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded() {
+        let cache = QueryCache::new(100, 8);
+        for i in 0..10_000u32 {
+            cache.insert(i, i + 1, CachedAnswer::Exact(i % 50));
+        }
+        assert!(
+            cache.len() <= 128,
+            "len {} exceeds shard-rounded capacity",
+            cache.len()
+        );
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(QueryCache::new(1024, 8));
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..2_000u32 {
+                        let s = worker * 1_000 + (i % 500);
+                        cache.insert(s, s + 1, CachedAnswer::Exact(i % 30));
+                        let _ = cache.get(s, s + 1);
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 1024);
+        assert!(cache.hits() > 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! The [`QueryService`]: one immutable oracle build shared by N workers.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use vicinity_core::index::VicinityOracle;
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::NodeId;
+
+use crate::cache::QueryCache;
+use crate::session::{ServedAnswer, SharedState, WorkerSession};
+use crate::stats::ServerStats;
+
+/// Errors raised when assembling a [`QueryService`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The oracle was built over a different graph than the one provided
+    /// (node counts disagree), so fallback answers would be meaningless.
+    GraphMismatch {
+        /// Nodes in the oracle's indexed graph.
+        oracle_nodes: usize,
+        /// Nodes in the provided graph.
+        graph_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::GraphMismatch {
+                oracle_nodes,
+                graph_nodes,
+            } => write!(
+                f,
+                "oracle indexes {oracle_nodes} nodes but the graph has {graph_nodes}; \
+                 the service must be built from the same graph the oracle was built over"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Builder for [`QueryService`].
+pub struct QueryServiceBuilder {
+    oracle: Arc<VicinityOracle>,
+    graph: Arc<CsrGraph>,
+    threads: usize,
+    cache_capacity: usize,
+    cache_shards: usize,
+    fallback: bool,
+    record_latency: bool,
+}
+
+impl QueryServiceBuilder {
+    fn new(oracle: Arc<VicinityOracle>, graph: Arc<CsrGraph>) -> Self {
+        QueryServiceBuilder {
+            oracle,
+            graph,
+            threads: 0,
+            cache_capacity: 0,
+            cache_shards: 16,
+            fallback: true,
+            record_latency: true,
+        }
+    }
+
+    /// Worker threads used by [`QueryService::serve_batch`]
+    /// (`0` = all available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enable a bounded LRU result cache holding up to `capacity` answers
+    /// (`0` disables caching, the default).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Number of independently locked cache shards (rounded up to a power
+    /// of two; default 16).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
+    /// Enable or disable the per-worker exact fallback search for index
+    /// misses (enabled by default).
+    pub fn fallback(mut self, enabled: bool) -> Self {
+        self.fallback = enabled;
+        self
+    }
+
+    /// Enable or disable per-query latency recording (enabled by default;
+    /// disabling shaves two clock reads off every query).
+    pub fn record_latency(mut self, enabled: bool) -> Self {
+        self.record_latency = enabled;
+        self
+    }
+
+    /// Assemble the service, verifying the oracle and graph agree.
+    pub fn build(self) -> Result<QueryService, ServerError> {
+        if self.oracle.node_count() != self.graph.node_count() {
+            return Err(ServerError::GraphMismatch {
+                oracle_nodes: self.oracle.node_count(),
+                graph_nodes: self.graph.node_count(),
+            });
+        }
+        let cache = (self.cache_capacity > 0)
+            .then(|| Arc::new(QueryCache::new(self.cache_capacity, self.cache_shards)));
+        Ok(QueryService {
+            shared: SharedState {
+                oracle: self.oracle,
+                graph: self.graph,
+                cache,
+                fallback: self.fallback,
+                record_latency: self.record_latency,
+                aggregate: Arc::new(Mutex::new(ServerStats::default())),
+                scratch_pool: Arc::new(Mutex::new(Vec::new())),
+            },
+            threads: self.threads,
+        })
+    }
+}
+
+/// A concurrent, batched query-serving frontend over one immutable
+/// [`VicinityOracle`] build.
+///
+/// The oracle and graph live behind `Arc`s; worker sessions share them
+/// without replication (the paper's §5 open question, answered within one
+/// machine: the index is immutable after construction, so the hot path
+/// needs no synchronisation at all). Misses are resolved by per-worker
+/// allocation-free bidirectional BFS, repeated pairs by a sharded LRU
+/// result cache, and every query feeds a latency/method/work statistics
+/// aggregate.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vicinity_core::{config::Alpha, OracleBuilder};
+/// use vicinity_graph::generators::social::SocialGraphConfig;
+/// use vicinity_server::QueryService;
+///
+/// let graph = SocialGraphConfig::small_test().generate(7);
+/// let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(7).build(&graph);
+/// let service = QueryService::builder(oracle, graph)
+///     .threads(4)
+///     .cache_capacity(10_000)
+///     .build()
+///     .unwrap();
+/// let answers = service.serve_batch(&[(0, 42), (1, 99), (42, 0)]);
+/// assert_eq!(answers.len(), 3);
+/// assert!(answers.iter().all(|a| a.is_exact() || a.is_unreachable()));
+/// ```
+pub struct QueryService {
+    shared: SharedState,
+    threads: usize,
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("nodes", &self.shared.oracle.node_count())
+            .field("threads", &self.threads)
+            .field("cache", &self.shared.cache.is_some())
+            .field("fallback", &self.shared.fallback)
+            .finish()
+    }
+}
+
+impl QueryService {
+    /// Start building a service from an owned oracle and graph.
+    pub fn builder(oracle: VicinityOracle, graph: CsrGraph) -> QueryServiceBuilder {
+        QueryServiceBuilder::new(Arc::new(oracle), Arc::new(graph))
+    }
+
+    /// Start building a service from already-shared handles (e.g. when the
+    /// caller keeps its own `Arc` to the graph for other subsystems).
+    pub fn builder_from_arcs(
+        oracle: Arc<VicinityOracle>,
+        graph: Arc<CsrGraph>,
+    ) -> QueryServiceBuilder {
+        QueryServiceBuilder::new(oracle, graph)
+    }
+
+    /// The shared oracle.
+    pub fn oracle(&self) -> &Arc<VicinityOracle> {
+        &self.shared.oracle
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.shared.graph
+    }
+
+    /// Number of answers currently held by the result cache (0 when caching
+    /// is disabled).
+    pub fn cached_answers(&self) -> usize {
+        self.shared.cache.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// Effective worker-thread count for a batch of `work_items` queries.
+    pub fn effective_threads(&self, work_items: usize) -> usize {
+        vicinity_core::parallel::resolve_worker_threads(self.threads, work_items)
+    }
+
+    /// Open a worker session. The session is `Send` and lock-free on its
+    /// hot path; create one per worker thread and feed it queries with
+    /// [`WorkerSession::serve_one`]. Statistics fold back into
+    /// [`QueryService::stats`] when the session drops.
+    pub fn session(&self) -> WorkerSession {
+        WorkerSession::new(self.shared.clone())
+    }
+
+    /// Answer a batch of queries, sharded over the configured number of
+    /// worker threads. Answers are returned in input order.
+    pub fn serve_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<ServedAnswer> {
+        let wall_start = Instant::now();
+        let answers = self.serve_batch_inner(pairs);
+        if let Ok(mut aggregate) = self.shared.aggregate.lock() {
+            aggregate.wall_time += wall_start.elapsed();
+        }
+        answers
+    }
+
+    fn serve_batch_inner(&self, pairs: &[(NodeId, NodeId)]) -> Vec<ServedAnswer> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.effective_threads(pairs.len());
+        if threads == 1 {
+            let mut session = self.session();
+            let mut answers = Vec::new();
+            session.serve_into(pairs, &mut answers);
+            return answers;
+        }
+
+        let chunk_size = pairs.len().div_ceil(threads);
+        let mut answers = Vec::with_capacity(pairs.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in pairs.chunks(chunk_size) {
+                let mut session = self.session();
+                handles.push(scope.spawn(move || {
+                    let mut chunk_answers = Vec::new();
+                    session.serve_into(chunk, &mut chunk_answers);
+                    chunk_answers
+                }));
+            }
+            for handle in handles {
+                answers.extend(handle.join().expect("serving worker panicked"));
+            }
+        });
+        debug_assert_eq!(answers.len(), pairs.len());
+        answers
+    }
+
+    /// Snapshot of the aggregate serving statistics (all dropped sessions
+    /// and completed batches so far).
+    pub fn stats(&self) -> ServerStats {
+        self.shared
+            .aggregate
+            .lock()
+            .expect("stats aggregate poisoned")
+            .clone()
+    }
+
+    /// Reset the aggregate statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&self) {
+        *self
+            .shared
+            .aggregate
+            .lock()
+            .expect("stats aggregate poisoned") = ServerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ServedMethod;
+    use rand::SeedableRng;
+    use vicinity_baselines::bfs::BfsEngine;
+    use vicinity_baselines::PointToPoint;
+    use vicinity_core::config::Alpha;
+    use vicinity_core::OracleBuilder;
+    use vicinity_graph::algo::sampling::random_pairs;
+    use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::generators::{classic, social::SocialGraphConfig};
+
+    fn small_service(seed: u64, cache: usize, threads: usize) -> QueryService {
+        let graph = SocialGraphConfig::small_test().generate(seed);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(seed)
+            .build(&graph);
+        QueryService::builder(oracle, graph)
+            .threads(threads)
+            .cache_capacity(cache)
+            .build()
+            .expect("graph and oracle agree")
+    }
+
+    #[test]
+    fn batch_answers_match_reference_bfs() {
+        let service = small_service(21, 0, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pairs = random_pairs(service.graph(), 400, &mut rng);
+        let answers = service.serve_batch(&pairs);
+        assert_eq!(answers.len(), pairs.len());
+        let mut bfs = BfsEngine::new(service.graph());
+        for (&(s, t), answer) in pairs.iter().zip(&answers) {
+            assert_eq!(answer.distance(), bfs.distance(s, t), "pair ({s},{t})");
+            assert!(answer.is_exact() || answer.is_unreachable());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries, 400);
+        assert!(stats.throughput_qps() > 0.0);
+        assert_eq!(
+            stats.misses, 0,
+            "fallback is enabled, no query goes unanswered"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_answers() {
+        let graph = SocialGraphConfig::small_test().generate(22);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(22)
+            .build(&graph);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let pairs = random_pairs(&graph, 300, &mut rng);
+
+        let single = QueryService::builder(oracle.clone(), graph.clone())
+            .threads(1)
+            .build()
+            .unwrap()
+            .serve_batch(&pairs);
+        let four = QueryService::builder(oracle, graph)
+            .threads(4)
+            .build()
+            .unwrap()
+            .serve_batch(&pairs);
+        assert_eq!(
+            single, four,
+            "answers must be order-stable and thread-invariant"
+        );
+    }
+
+    #[test]
+    fn cache_serves_repeated_pairs() {
+        let service = small_service(23, 4096, 1);
+        let pairs: Vec<(NodeId, NodeId)> = vec![(1, 900), (2, 800), (900, 1), (1, 900)];
+        let answers = service.serve_batch(&pairs);
+        // (900,1) normalises to the same key as (1,900): second and third
+        // occurrences must come from the cache with identical distances.
+        assert_eq!(answers[0].distance(), answers[2].distance());
+        assert_eq!(answers[0].distance(), answers[3].distance());
+        assert_eq!(answers[2].method(), Some(ServedMethod::Cache));
+        assert_eq!(answers[3].method(), Some(ServedMethod::Cache));
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!(service.cached_answers() >= 2);
+    }
+
+    #[test]
+    fn misses_are_reported_when_fallback_disabled() {
+        // A grid at moderate alpha misses often; with fallback off, misses
+        // surface to the caller.
+        let graph = classic::grid(25, 25);
+        let oracle = OracleBuilder::new(Alpha::new(2.0).unwrap())
+            .seed(3)
+            .build(&graph);
+        let service = QueryService::builder(oracle, graph)
+            .threads(2)
+            .fallback(false)
+            .build()
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pairs = random_pairs(service.graph(), 300, &mut rng);
+        let answers = service.serve_batch(&pairs);
+        let misses = answers.iter().filter(|a| a.is_miss()).count();
+        assert!(
+            misses > 0,
+            "a sparse grid at alpha=2 must produce some misses"
+        );
+        assert_eq!(service.stats().misses, misses as u64);
+    }
+
+    #[test]
+    fn unreachable_pairs_are_definitive() {
+        let mut b = GraphBuilder::with_node_count(10);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(5, 6);
+        let graph = b.build_undirected();
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(4)
+            .build(&graph);
+        let service = QueryService::builder(oracle, graph)
+            .cache_capacity(64)
+            .build()
+            .unwrap();
+        let answers = service.serve_batch(&[(0, 6), (0, 6), (2, 0)]);
+        assert!(answers[0].is_unreachable());
+        assert!(
+            answers[1].is_unreachable(),
+            "second ask may come from cache, still unreachable"
+        );
+        assert_eq!(answers[2].distance(), Some(2));
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_graph() {
+        let graph = classic::path(10);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).build(&graph);
+        let other = classic::path(11);
+        let err = QueryService::builder(oracle, other).build().unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::GraphMismatch {
+                oracle_nodes: 10,
+                graph_nodes: 11
+            }
+        );
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn sessions_pool_scratch_and_merge_stats() {
+        let service = small_service(24, 0, 1);
+        {
+            let mut session = service.session();
+            session.serve_one(0, 500);
+            session.serve_one(3, 700);
+            assert_eq!(session.stats().queries, 2);
+        } // drop merges
+        assert_eq!(service.stats().queries, 2);
+        // The next session reuses the pooled scratch allocation.
+        {
+            let mut session = service.session();
+            session.serve_one(9, 100);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries, 3);
+        assert!(stats.latency.count() > 0);
+        service.reset_stats();
+        assert_eq!(service.stats().queries, 0);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_misses_not_unreachable() {
+        let service = small_service(27, 64, 1);
+        let bogus = 10_000_000u32;
+        let answers = service.serve_batch(&[(0, bogus), (bogus, 0), (bogus, bogus)]);
+        assert!(
+            answers.iter().all(|a| a.is_miss()),
+            "unknown ids must be misses, got {answers:?}"
+        );
+        assert_eq!(
+            service.cached_answers(),
+            0,
+            "bad requests must not be cached"
+        );
+        assert_eq!(service.stats().misses, 3);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let service = small_service(25, 0, 4);
+        assert!(service.serve_batch(&[]).is_empty());
+        assert_eq!(service.stats().queries, 0);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_work() {
+        let service = small_service(26, 0, 8);
+        assert_eq!(service.effective_threads(3), 3);
+        assert_eq!(service.effective_threads(100), 8);
+        assert_eq!(service.effective_threads(0), 1);
+    }
+}

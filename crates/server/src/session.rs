@@ -1,0 +1,252 @@
+//! Per-worker session state: the full query pipeline with reusable scratch.
+//!
+//! A [`WorkerSession`] is the unit of serving concurrency. Each session
+//! shares the immutable oracle and graph through `Arc`s and owns everything
+//! mutable it needs — the fallback search scratch, and its private
+//! statistics — so the query hot path takes no locks and performs no
+//! allocation, no matter how many sessions run in parallel. The only shared
+//! mutable structure is the (optional) result cache, which is internally
+//! sharded.
+//!
+//! Sessions return their scratch buffers to the service's pool and merge
+//! their statistics into the service aggregate when dropped, so repeated
+//! batches reuse allocations instead of growing new ones.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use vicinity_baselines::bidirectional_bfs::BidirBfsScratch;
+use vicinity_core::index::VicinityOracle;
+use vicinity_core::query::DistanceAnswer;
+use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::{Distance, NodeId};
+
+use crate::cache::{CachedAnswer, QueryCache};
+use crate::stats::{ServedMethod, ServerStats};
+
+/// Result of one served query.
+///
+/// Mirrors [`DistanceAnswer`] but carries the serving-level provenance
+/// ([`ServedMethod`]): whether the answer came from the oracle index (and
+/// which case of Algorithm 1), the result cache, or the fallback search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedAnswer {
+    /// An exact shortest-path distance.
+    Exact {
+        /// Distance in hops.
+        distance: Distance,
+        /// How the answer was produced.
+        method: ServedMethod,
+    },
+    /// The endpoints are provably disconnected.
+    Unreachable,
+    /// The query was not answered: an endpoint id is unknown to the index,
+    /// or the index missed and no fallback is configured.
+    Miss,
+}
+
+impl ServedAnswer {
+    /// The numeric distance, when one is available.
+    pub fn distance(&self) -> Option<Distance> {
+        match self {
+            ServedAnswer::Exact { distance, .. } => Some(*distance),
+            _ => None,
+        }
+    }
+
+    /// True when an exact distance was produced.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ServedAnswer::Exact { .. })
+    }
+
+    /// True when the endpoints are provably disconnected.
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, ServedAnswer::Unreachable)
+    }
+
+    /// True when the query went unanswered.
+    pub fn is_miss(&self) -> bool {
+        matches!(self, ServedAnswer::Miss)
+    }
+
+    /// Serving provenance, when an exact distance was produced.
+    pub fn method(&self) -> Option<ServedMethod> {
+        match self {
+            ServedAnswer::Exact { method, .. } => Some(*method),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a session shares with its parent service.
+#[derive(Clone)]
+pub(crate) struct SharedState {
+    pub(crate) oracle: Arc<VicinityOracle>,
+    pub(crate) graph: Arc<CsrGraph>,
+    pub(crate) cache: Option<Arc<QueryCache>>,
+    pub(crate) fallback: bool,
+    pub(crate) record_latency: bool,
+    pub(crate) aggregate: Arc<Mutex<ServerStats>>,
+    pub(crate) scratch_pool: Arc<Mutex<Vec<BidirBfsScratch>>>,
+}
+
+/// A worker's private serving state. Create one per thread with
+/// [`crate::QueryService::session`]; it is `Send`, so it can be moved into
+/// a worker thread and used for any number of queries.
+pub struct WorkerSession {
+    shared: SharedState,
+    scratch: BidirBfsScratch,
+    stats: ServerStats,
+}
+
+impl WorkerSession {
+    pub(crate) fn new(shared: SharedState) -> Self {
+        let scratch = shared
+            .scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| BidirBfsScratch::with_node_capacity(shared.graph.node_count()));
+        WorkerSession {
+            shared,
+            scratch,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Serve one query through the full pipeline: result cache, oracle
+    /// index, then (for index misses) the session's allocation-free
+    /// bidirectional-BFS fallback. Definitive answers are written back to
+    /// the cache.
+    pub fn serve_one(&mut self, s: NodeId, t: NodeId) -> ServedAnswer {
+        let start = self.shared.record_latency.then(Instant::now);
+
+        let answer = self.resolve(s, t);
+
+        let latency = start.map(|st| st.elapsed());
+        let method = match answer {
+            ServedAnswer::Exact { method, .. } => method,
+            ServedAnswer::Unreachable => ServedMethod::Unreachable,
+            ServedAnswer::Miss => ServedMethod::Miss,
+        };
+        self.stats.record(method, latency);
+        answer
+    }
+
+    fn resolve(&mut self, s: NodeId, t: NodeId) -> ServedAnswer {
+        // Unknown node ids are a bad request, not a provable
+        // disconnection: report a miss (never cached) instead of letting
+        // the fallback's out-of-range guard masquerade as "unreachable".
+        if !self.shared.oracle.contains_node(s) || !self.shared.oracle.contains_node(t) {
+            return ServedAnswer::Miss;
+        }
+        if let Some(cache) = &self.shared.cache {
+            match cache.get(s, t) {
+                Some(CachedAnswer::Exact(d)) => {
+                    return ServedAnswer::Exact {
+                        distance: d,
+                        method: ServedMethod::Cache,
+                    }
+                }
+                // A cached "unreachable" is recorded under `unreachable`
+                // (not `cache_hits`) so the definitive-answer accounting
+                // stays exact; the internal cache counters still see the
+                // probe hit.
+                Some(CachedAnswer::Unreachable) => return ServedAnswer::Unreachable,
+                None => {}
+            }
+        }
+
+        match self
+            .shared
+            .oracle
+            .distance_accumulate(s, t, &mut self.stats.index_work)
+        {
+            DistanceAnswer::Exact { distance, method } => {
+                self.cache_store(s, t, CachedAnswer::Exact(distance));
+                ServedAnswer::Exact {
+                    distance,
+                    method: ServedMethod::Index(method),
+                }
+            }
+            DistanceAnswer::Unreachable => {
+                self.cache_store(s, t, CachedAnswer::Unreachable);
+                ServedAnswer::Unreachable
+            }
+            DistanceAnswer::Miss if self.shared.fallback => match self.fallback_distance(s, t) {
+                Some(distance) => {
+                    self.cache_store(s, t, CachedAnswer::Exact(distance));
+                    ServedAnswer::Exact {
+                        distance,
+                        method: ServedMethod::Fallback,
+                    }
+                }
+                None => {
+                    self.cache_store(s, t, CachedAnswer::Unreachable);
+                    ServedAnswer::Unreachable
+                }
+            },
+            DistanceAnswer::Miss => ServedAnswer::Miss,
+        }
+    }
+
+    /// Exact fallback for an index miss. When both endpoints have stored
+    /// vicinities, the bidirectional BFS is *seeded* with them: the index
+    /// already holds each endpoint's exact distance ball, so the search
+    /// stamps the ball interiors and resumes expansion from the ball
+    /// boundaries, skipping the levels the oracle precomputed. Misses are
+    /// precisely the queries whose balls do not intersect, which is the
+    /// seeding contract.
+    fn fallback_distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
+        let graph: &CsrGraph = &self.shared.graph;
+        match (
+            self.shared.oracle.vicinity(s),
+            self.shared.oracle.vicinity(t),
+        ) {
+            (Some(vs), Some(vt)) if !vs.is_empty() && !vt.is_empty() => self
+                .scratch
+                .distance_seeded(graph, vs.iter(), vs.radius(), vt.iter(), vt.radius()),
+            _ => self.scratch.distance(graph, s, t),
+        }
+    }
+
+    #[inline]
+    fn cache_store(&self, s: NodeId, t: NodeId, answer: CachedAnswer) {
+        if let Some(cache) = &self.shared.cache {
+            cache.insert(s, t, answer);
+        }
+    }
+
+    /// Serve a slice of queries, appending the answers to `out` in input
+    /// order. Used by `serve_batch` workers; callers driving their own
+    /// threads can equally loop over [`WorkerSession::serve_one`].
+    pub fn serve_into(&mut self, pairs: &[(NodeId, NodeId)], out: &mut Vec<ServedAnswer>) {
+        out.reserve(pairs.len());
+        let busy_start = Instant::now();
+        for &(s, t) in pairs {
+            let answer = self.serve_one(s, t);
+            out.push(answer);
+        }
+        self.stats.busy_time += busy_start.elapsed();
+    }
+
+    /// This session's private statistics (merged into the service aggregate
+    /// when the session drops).
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+}
+
+impl Drop for WorkerSession {
+    fn drop(&mut self) {
+        // Merge the session's statistics into the service aggregate and
+        // hand the scratch buffers back for reuse by the next session.
+        if let Ok(mut aggregate) = self.shared.aggregate.lock() {
+            aggregate.merge(&self.stats);
+        }
+        let scratch = std::mem::take(&mut self.scratch);
+        if let Ok(mut pool) = self.shared.scratch_pool.lock() {
+            pool.push(scratch);
+        }
+    }
+}

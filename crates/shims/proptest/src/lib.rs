@@ -1,0 +1,171 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with an optional inner `#![proptest_config(..)]`
+//! attribute), range / tuple / `any::<T>()` strategies,
+//! `prop::collection::vec`, [`Strategy::prop_map`] and the `prop_assert*`
+//! macros. Cases are generated from a deterministic RNG seeded by the test
+//! name, so failures reproduce; there is **no shrinking** — a failing case
+//! is reported at full size by the ordinary `assert!` panic message.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG (FNV-1a hash of the test name as the seed).
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Strategy producing values of `T`'s "standard" distribution, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: rand::StandardSample>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// Strategy for a `Vec` whose length is drawn from `size` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+    };
+}
+
+/// Run named random-case tests. See the crate docs for the supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let _ = __case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let mut c = crate::test_rng("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Ranges stay in bounds; tuples and maps compose.
+        #[test]
+        fn strategies_compose(
+            n in 2usize..40,
+            x in 0.5f64..2.0,
+            pair in (0u32..10, 0u32..10),
+            flag in any::<bool>(),
+            items in prop::collection::vec((0u32..5, 1u64..100), 0..20),
+        ) {
+            prop_assert!((2..40).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            let _coin: bool = flag;
+            prop_assert!(items.len() < 20);
+            for (a, b) in items {
+                prop_assert!(a < 5);
+                prop_assert!((1..100).contains(&b));
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(double in (1u32..50).prop_map(|v| v * 2)) {
+            prop_assert_eq!(double % 2, 0);
+            prop_assert_ne!(double, 1);
+        }
+    }
+}

@@ -26,9 +26,15 @@ fn main() {
         graph.edge_count()
     );
 
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(3).build(graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(3)
+        .build(graph);
     let workload = PairWorkload::paper_sampling(graph, 60, 2, 2024);
-    println!("workload: {} ({} pairs)", workload.description(), workload.len());
+    println!(
+        "workload: {} ({} pairs)",
+        workload.description(),
+        workload.len()
+    );
 
     let mut engine = QueryWithFallback::new(&oracle, graph);
     let mut histogram: Vec<u64> = Vec::new();

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vicinity::prelude::*;
 use vicinity::core::fallback::QueryWithFallback;
+use vicinity::prelude::*;
 
 fn main() {
     // 1. Generate a small social-network-like graph (seeded, deterministic).
@@ -19,7 +19,9 @@ fn main() {
 
     // 2. Build the oracle with the paper's default alpha = 4.
     let start = std::time::Instant::now();
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(7).build(&graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(7)
+        .build(&graph);
     println!(
         "built oracle in {:.2?}: {} landmarks, average vicinity size {:.1}, average radius {:.2}",
         start.elapsed(),

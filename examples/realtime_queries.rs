@@ -21,8 +21,10 @@ use vicinity::prelude::*;
 const BUDGET: Duration = Duration::from_millis(10);
 
 fn main() {
-    let dataset =
-        Dataset::stand_in(StandIn::LiveJournal, vicinity::datasets::registry::Scale::Small);
+    let dataset = Dataset::stand_in(
+        StandIn::LiveJournal,
+        vicinity::datasets::registry::Scale::Small,
+    );
     let graph = &dataset.graph;
     println!(
         "serving distance queries on {}: {} nodes, {} edges (budget {:?}/query)",
@@ -33,7 +35,9 @@ fn main() {
     );
 
     let build = Instant::now();
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(2012).build(graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(2012)
+        .build(graph);
     println!("oracle ready in {:.2?}", build.elapsed());
 
     let workload = PairWorkload::uniform_random(graph, 5_000, 777);
@@ -88,8 +92,14 @@ fn main() {
     println!("  exact from the index      {exact_from_index:>8}");
     println!("  exact via fallback search {exact_from_fallback:>8}");
     println!("  approximate (landmark)    {approximate:>8}");
-    println!("\nlatency: mean {:.1?}  p50 {:.1?}  p99 {:.1?}  p99.9 {:.1?}  max {:.1?}",
-        mean, at(0.50), at(0.99), at(0.999), latencies[total - 1]);
+    println!(
+        "\nlatency: mean {:.1?}  p50 {:.1?}  p99 {:.1?}  p99.9 {:.1?}  max {:.1?}",
+        mean,
+        at(0.50),
+        at(0.99),
+        at(0.999),
+        latencies[total - 1]
+    );
     println!(
         "  answered in under a millisecond: {:.2}%   over the {:?} budget: {}",
         100.0 * sub_ms as f64 / total as f64,

@@ -24,7 +24,9 @@ fn main() {
         graph.edge_count()
     );
 
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(99).build(graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(99)
+        .build(graph);
 
     // A job seeker and candidate employers (hiring managers).
     let job_seeker: u32 = 4321 % graph.node_count() as u32;
@@ -33,7 +35,10 @@ fn main() {
         .filter(|&e| e != job_seeker)
         .collect();
 
-    println!("\nranking {} potential employers by social distance from member {job_seeker}:", employers.len());
+    println!(
+        "\nranking {} potential employers by social distance from member {job_seeker}:",
+        employers.len()
+    );
     let mut ranked: Vec<(u32, Option<u32>)> = employers
         .iter()
         .map(|&employer| {
@@ -48,7 +53,12 @@ fn main() {
 
     for (rank, (employer, distance)) in ranked.iter().enumerate() {
         match distance {
-            Some(d) => println!("  #{:<2} member {:>7}  — {} introductions away", rank + 1, employer, d),
+            Some(d) => println!(
+                "  #{:<2} member {:>7}  — {} introductions away",
+                rank + 1,
+                employer,
+                d
+            ),
             None => println!("  #{:<2} member {:>7}  — not reachable", rank + 1, employer),
         }
     }
@@ -62,7 +72,9 @@ fn main() {
                     println!("  member {} introduces member {}", window[0], window[1]);
                 }
             }
-            _ => println!("\nno stored path to the closest employer; a fallback search would be used"),
+            _ => println!(
+                "\nno stored path to the closest employer; a fallback search would be used"
+            ),
         }
     }
 }

@@ -3,8 +3,9 @@
 //! Umbrella crate re-exporting the full vicinity-oracle stack: the graph
 //! substrate ([`vicinity_graph`]), the vicinity-intersection oracle
 //! ([`vicinity_core`]), exact and approximate baselines
-//! ([`vicinity_baselines`]) and dataset/workload helpers
-//! ([`vicinity_datasets`]).
+//! ([`vicinity_baselines`]), dataset/workload helpers
+//! ([`vicinity_datasets`]) and the concurrent query-serving subsystem
+//! ([`vicinity_server`]).
 //!
 //! This is a reproduction of *Shortest Paths in Less Than a Millisecond*
 //! (Agarwal, Caesar, Godfrey, Zhao — WOSN/SIGCOMM 2012).
@@ -22,6 +23,7 @@ pub use vicinity_baselines as baselines;
 pub use vicinity_core as core;
 pub use vicinity_datasets as datasets;
 pub use vicinity_graph as graph;
+pub use vicinity_server as server;
 
 /// Convenience re-exports of the most frequently used items.
 pub mod prelude {
@@ -38,9 +40,8 @@ pub mod prelude {
         registry::{Dataset, StandIn},
         workload::PairWorkload,
     };
-    pub use vicinity_graph::{
-        csr::CsrGraph,
-        generators::social::SocialGraphConfig,
-        NodeId,
+    pub use vicinity_graph::{csr::CsrGraph, generators::social::SocialGraphConfig, NodeId};
+    pub use vicinity_server::{
+        QueryService, ServedAnswer, ServedMethod, ServerStats, WorkerSession,
     };
 }

@@ -21,7 +21,9 @@ use vicinity::graph::weighted::WeightedCsrGraph;
 
 #[test]
 fn all_engines_agree_on_a_social_graph() {
-    let graph = SocialGraphConfig::small_test().with_nodes(1200).generate(2024);
+    let graph = SocialGraphConfig::small_test()
+        .with_nodes(1200)
+        .generate(2024);
     let weighted = WeightedCsrGraph::unit_weights(&graph);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 
@@ -31,15 +33,29 @@ fn all_engines_agree_on_a_social_graph() {
     let mut dijkstra = Dijkstra::new(&weighted);
     let mut bidir_dijkstra = BidirectionalDijkstra::new(&weighted);
     let mut alt = AltEngine::new(&graph, 6, AltLandmarkStrategy::Farthest, &mut rng);
-    let mut estimator =
-        LandmarkEstimator::new(&graph, 12, EstimatorLandmarkStrategy::HighestDegree, &mut rng);
-    let oracle = OracleBuilder::new(Alpha::new(16.0).unwrap()).seed(7).build(&graph);
+    let mut estimator = LandmarkEstimator::new(
+        &graph,
+        12,
+        EstimatorLandmarkStrategy::HighestDegree,
+        &mut rng,
+    );
+    let oracle = OracleBuilder::new(Alpha::new(16.0).unwrap())
+        .seed(7)
+        .build(&graph);
 
     for (s, t) in random_pairs(&graph, 250, &mut rng) {
         let reference = apsp.distance(s, t);
         assert_eq!(bfs.distance(s, t), reference, "BFS disagrees on ({s},{t})");
-        assert_eq!(bidir.distance(s, t), reference, "BiBFS disagrees on ({s},{t})");
-        assert_eq!(dijkstra.distance(s, t), reference, "Dijkstra disagrees on ({s},{t})");
+        assert_eq!(
+            bidir.distance(s, t),
+            reference,
+            "BiBFS disagrees on ({s},{t})"
+        );
+        assert_eq!(
+            dijkstra.distance(s, t),
+            reference,
+            "Dijkstra disagrees on ({s},{t})"
+        );
         assert_eq!(
             bidir_dijkstra.distance(s, t),
             reference,
@@ -58,7 +74,10 @@ fn all_engines_agree_on_a_social_graph() {
                 assert_eq!(d, exact, "oracle disagrees on ({s},{t})");
             }
             if let Some(upper) = oracle.landmark_estimate(s, t) {
-                assert!(upper >= exact, "oracle landmark estimate underestimates ({s},{t})");
+                assert!(
+                    upper >= exact,
+                    "oracle landmark estimate underestimates ({s},{t})"
+                );
             }
         }
     }
@@ -69,13 +88,17 @@ fn exploration_cost_ordering_matches_table3_narrative() {
     // The paper's Table 3 narrative: the oracle does a few thousand hash
     // probes while BFS-style searches settle large fractions of the graph,
     // and bidirectional BFS settles far fewer nodes than plain BFS.
-    let graph = SocialGraphConfig::small_test().with_nodes(1500).generate(77);
+    let graph = SocialGraphConfig::small_test()
+        .with_nodes(1500)
+        .generate(77);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let pairs = random_pairs(&graph, 150, &mut rng);
 
     let mut bfs = BfsEngine::new(&graph);
     let mut bidir = BidirectionalBfs::new(&graph);
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(5).build(&graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(5)
+        .build(&graph);
 
     let mut bfs_ops = 0u64;
     let mut bidir_ops = 0u64;
@@ -87,7 +110,10 @@ fn exploration_cost_ordering_matches_table3_narrative() {
         bidir_ops += bidir.last_operations();
         oracle_probes += oracle.distance_with_stats(s, t).1.lookups;
     }
-    assert!(bidir_ops < bfs_ops, "bidirectional BFS should settle fewer nodes ({bidir_ops} vs {bfs_ops})");
+    assert!(
+        bidir_ops < bfs_ops,
+        "bidirectional BFS should settle fewer nodes ({bidir_ops} vs {bfs_ops})"
+    );
     // On a ~1500-node graph both searches terminate after a handful of hops,
     // so the oracle's advantage over *bidirectional* BFS only materialises at
     // the experiment scale (see the table3_query_time binary); here we check

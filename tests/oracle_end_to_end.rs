@@ -19,9 +19,15 @@ fn every_stand_in_answers_exactly() {
     for stand_in in StandIn::all() {
         let dataset = Dataset::generate_uncached(stand_in, Scale::Tiny);
         let graph = &dataset.graph;
-        assert!(connected_components(graph).is_connected(), "{} stand-in must be connected", dataset.name);
+        assert!(
+            connected_components(graph).is_connected(),
+            "{} stand-in must be connected",
+            dataset.name
+        );
 
-        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(1).build(graph);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(1)
+            .build(graph);
         let workload = PairWorkload::paper_sampling(graph, 25, 1, 5);
         let mut bfs = BfsEngine::new(graph);
         let mut answered = 0u64;
@@ -29,10 +35,20 @@ fn every_stand_in_answers_exactly() {
             match oracle.distance(s, t) {
                 DistanceAnswer::Exact { distance, .. } => {
                     answered += 1;
-                    assert_eq!(Some(distance), bfs.distance(s, t), "{}: wrong d({s},{t})", dataset.name);
+                    assert_eq!(
+                        Some(distance),
+                        bfs.distance(s, t),
+                        "{}: wrong d({s},{t})",
+                        dataset.name
+                    );
                 }
                 DistanceAnswer::Unreachable => {
-                    assert_eq!(None, bfs.distance(s, t), "{}: bogus unreachable ({s},{t})", dataset.name);
+                    assert_eq!(
+                        None,
+                        bfs.distance(s, t),
+                        "{}: bogus unreachable ({s},{t})",
+                        dataset.name
+                    );
                 }
                 DistanceAnswer::Miss => {}
             }
@@ -51,7 +67,9 @@ fn every_stand_in_answers_exactly() {
 fn paths_are_valid_on_stand_ins() {
     let dataset = Dataset::generate_uncached(StandIn::Flickr, Scale::Tiny);
     let graph = &dataset.graph;
-    let oracle = OracleBuilder::new(Alpha::new(16.0).unwrap()).seed(2).build(graph);
+    let oracle = OracleBuilder::new(Alpha::new(16.0).unwrap())
+        .seed(2)
+        .build(graph);
     let workload = PairWorkload::uniform_random(graph, 300, 11);
     let mut bfs = BfsEngine::new(graph);
     let mut answered = 0;
@@ -63,7 +81,11 @@ fn paths_are_valid_on_stand_ins() {
                 Some(distance),
                 "invalid path for ({s},{t})"
             );
-            assert_eq!(Some(distance), bfs.distance(s, t), "non-shortest path for ({s},{t})");
+            assert_eq!(
+                Some(distance),
+                bfs.distance(s, t),
+                "non-shortest path for ({s},{t})"
+            );
         }
     }
     assert!(answered > 100, "too few path answers: {answered}/300");
@@ -75,12 +97,18 @@ fn paths_are_valid_on_stand_ins() {
 fn fallback_completes_every_query() {
     let dataset = Dataset::generate_uncached(StandIn::Dblp, Scale::Tiny);
     let graph = &dataset.graph;
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(3).build(graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(3)
+        .build(graph);
     let mut combined = QueryWithFallback::new(&oracle, graph);
     let mut bfs = BfsEngine::new(graph);
     let workload = PairWorkload::uniform_random(graph, 500, 13);
     for (s, t) in workload.iter() {
-        assert_eq!(combined.distance(s, t).value(), bfs.distance(s, t), "pair ({s},{t})");
+        assert_eq!(
+            combined.distance(s, t).value(),
+            bfs.distance(s, t),
+            "pair ({s},{t})"
+        );
     }
     assert_eq!(combined.oracle_hits + combined.fallback_hits, 500);
 }
@@ -99,12 +127,16 @@ fn alpha_sweep_shapes_match_figure2() {
     let mut radii = Vec::new();
     let mut hit_rates = Vec::new();
     for alpha in [1.0, 8.0, 64.0] {
-        let oracle = OracleBuilder::new(Alpha::new(alpha).unwrap()).seed(4).build(graph);
+        let oracle = OracleBuilder::new(Alpha::new(alpha).unwrap())
+            .seed(4)
+            .build(graph);
         landmark_counts.push(oracle.landmarks().len());
         vicinity_sizes.push(oracle.average_vicinity_size());
         radii.push(oracle.average_vicinity_radius());
-        let answered =
-            workload.iter().filter(|&(s, t)| oracle.distance(s, t).is_answered()).count();
+        let answered = workload
+            .iter()
+            .filter(|&(s, t)| oracle.distance(s, t).is_answered())
+            .count();
         hit_rates.push(answered as f64 / workload.len() as f64);
     }
     assert!(landmark_counts[0] > landmark_counts[1] && landmark_counts[1] > landmark_counts[2]);
@@ -114,7 +146,10 @@ fn alpha_sweep_shapes_match_figure2() {
         hit_rates[0] <= hit_rates[2] + 0.02 && hit_rates[1] <= hit_rates[2] + 0.02,
         "hit rate should peak at the largest alpha: {hit_rates:?}"
     );
-    assert!(hit_rates[2] > 0.85, "alpha=64 should answer most queries: {hit_rates:?}");
+    assert!(
+        hit_rates[2] > 0.85,
+        "alpha=64 should answer most queries: {hit_rates:?}"
+    );
 }
 
 /// Memory accounting: larger alpha costs more entries; the savings factor
@@ -124,8 +159,12 @@ fn alpha_sweep_shapes_match_figure2() {
 fn memory_and_boundary_claims() {
     let dataset = Dataset::generate_uncached(StandIn::Orkut, Scale::Tiny);
     let graph = &dataset.graph;
-    let small = OracleBuilder::new(Alpha::new(1.0).unwrap()).seed(5).build(graph);
-    let large = OracleBuilder::new(Alpha::new(16.0).unwrap()).seed(5).build(graph);
+    let small = OracleBuilder::new(Alpha::new(1.0).unwrap())
+        .seed(5)
+        .build(graph);
+    let large = OracleBuilder::new(Alpha::new(16.0).unwrap())
+        .seed(5)
+        .build(graph);
     let report_small = MemoryReport::measure(&small);
     let report_large = MemoryReport::measure(&large);
     assert!(report_small.vicinity_entries < report_large.vicinity_entries);
@@ -167,7 +206,9 @@ fn persistence_round_trip_on_stand_in() {
 fn prelude_is_usable() {
     use vicinity::prelude::*;
     let graph = SocialGraphConfig::small_test().with_nodes(800).generate(9);
-    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT).seed(1).build(&graph);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(1)
+        .build(&graph);
     let answer = oracle.distance(0, (graph.node_count() / 2) as u32);
     assert!(answer.is_answered() || answer.is_miss() || answer.is_unreachable());
     let stats: QueryStats = oracle.distance_with_stats(0, 1).1;

@@ -1,0 +1,178 @@
+//! Integration tests for the serving subsystem: cross-validation of
+//! `QueryService` answers (including fallback-on-miss) against the exact
+//! Dijkstra baseline, and concurrent serving of one shared oracle from
+//! multiple threads.
+
+use rand::SeedableRng;
+
+use vicinity::baselines::dijkstra::Dijkstra;
+use vicinity::baselines::PointToPoint;
+use vicinity::core::config::Alpha;
+use vicinity::core::OracleBuilder;
+use vicinity::graph::algo::sampling::random_pairs;
+use vicinity::graph::weighted::WeightedCsrGraph;
+use vicinity::prelude::*;
+
+/// Every answer served on a social graph — whether from the index, the
+/// cache or the fallback — must equal the Dijkstra distance.
+#[test]
+fn serve_batch_matches_dijkstra_on_social_graphs() {
+    for seed in [301u64, 302] {
+        let graph = SocialGraphConfig::small_test().generate(seed);
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(seed)
+            .build(&graph);
+        let service = QueryService::builder(oracle, graph)
+            .threads(3)
+            .cache_capacity(4096)
+            .build()
+            .expect("oracle and graph agree");
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut pairs = random_pairs(service.graph(), 500, &mut rng);
+        // Duplicate a slice of the workload so the cache path is exercised
+        // and validated too.
+        let repeats: Vec<_> = pairs[..50].to_vec();
+        pairs.extend(repeats);
+
+        let answers = service.serve_batch(&pairs);
+        assert_eq!(answers.len(), pairs.len());
+
+        let weighted = WeightedCsrGraph::unit_weights(service.graph());
+        let mut dijkstra = Dijkstra::new(&weighted);
+        for (&(s, t), answer) in pairs.iter().zip(&answers) {
+            assert_eq!(
+                answer.distance(),
+                dijkstra.distance(s, t),
+                "pair ({s},{t}) seed {seed}"
+            );
+            assert!(
+                !answer.is_miss(),
+                "fallback is enabled: no unanswered queries"
+            );
+        }
+
+        let stats = service.stats();
+        assert_eq!(stats.queries, pairs.len() as u64);
+        assert!(stats.cache_hits > 0, "repeated pairs must hit the cache");
+        assert_eq!(stats.misses, 0);
+    }
+}
+
+/// On a hub-free grid at small alpha the index misses often; the fallback
+/// must resolve every miss exactly.
+#[test]
+fn fallback_on_miss_is_exact() {
+    let graph = vicinity::graph::generators::classic::grid(30, 30);
+    let oracle = OracleBuilder::new(Alpha::new(2.0).unwrap())
+        .seed(9)
+        .build(&graph);
+    let service = QueryService::builder(oracle, graph)
+        .threads(2)
+        .build()
+        .unwrap();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let pairs = random_pairs(service.graph(), 250, &mut rng);
+    let answers = service.serve_batch(&pairs);
+
+    let weighted = WeightedCsrGraph::unit_weights(service.graph());
+    let mut dijkstra = Dijkstra::new(&weighted);
+    let mut fallback_seen = false;
+    for (&(s, t), answer) in pairs.iter().zip(&answers) {
+        assert_eq!(answer.distance(), dijkstra.distance(s, t), "pair ({s},{t})");
+        if answer.method() == Some(ServedMethod::Fallback) {
+            fallback_seen = true;
+        }
+    }
+    assert!(
+        fallback_seen,
+        "a sparse grid at alpha=2 must exercise the fallback path"
+    );
+    assert!(service.stats().fallbacks > 0);
+}
+
+/// One oracle, one service, shared across at least four threads driving
+/// their own sessions concurrently: answers stay exact and the aggregate
+/// statistics account for every query.
+#[test]
+fn one_oracle_shared_across_four_threads() {
+    let graph = SocialGraphConfig::small_test().generate(303);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(303)
+        .build(&graph);
+    let service = QueryService::builder(oracle, graph)
+        .cache_capacity(2048)
+        .build()
+        .expect("oracle and graph agree");
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 300;
+
+    // Reference answers computed single-threaded first.
+    let mut workloads = Vec::new();
+    for worker in 0..THREADS {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + worker as u64);
+        workloads.push(random_pairs(service.graph(), PER_THREAD, &mut rng));
+    }
+    let weighted = WeightedCsrGraph::unit_weights(service.graph());
+    let mut dijkstra = Dijkstra::new(&weighted);
+    let expected: Vec<Vec<Option<u32>>> = workloads
+        .iter()
+        .map(|pairs| {
+            pairs
+                .iter()
+                .map(|&(s, t)| dijkstra.distance(s, t))
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (pairs, expected) in workloads.iter().zip(&expected) {
+            let mut session = service.session();
+            scope.spawn(move || {
+                for (&(s, t), want) in pairs.iter().zip(expected) {
+                    let answer = session.serve_one(s, t);
+                    assert_eq!(answer.distance(), *want, "pair ({s},{t})");
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.queries, (THREADS * PER_THREAD) as u64);
+    assert_eq!(stats.misses, 0);
+    assert_eq!(
+        stats.queries,
+        stats.index_hits + stats.fallbacks + stats.cache_hits + stats.unreachable,
+        "every query must be accounted to exactly one serving method"
+    );
+    assert!(
+        stats.latency.count() > 0,
+        "latency recording is on by default"
+    );
+}
+
+/// serve_batch across threads returns answers in input order (spot-checked
+/// against the same batch served single-threaded).
+#[test]
+fn batched_answers_preserve_input_order() {
+    let graph = SocialGraphConfig::small_test().generate(304);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(304)
+        .build(&graph);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let pairs = random_pairs(&graph, 400, &mut rng);
+
+    let single = QueryService::builder(oracle.clone(), graph.clone())
+        .threads(1)
+        .build()
+        .unwrap()
+        .serve_batch(&pairs);
+    let sharded = QueryService::builder(oracle, graph)
+        .threads(4)
+        .build()
+        .unwrap()
+        .serve_batch(&pairs);
+    assert_eq!(single, sharded);
+}
