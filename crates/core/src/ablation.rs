@@ -11,19 +11,21 @@
 //!
 //! The ablation experiment (`ablation_strawmen` in `vicinity-bench`)
 //! measures the error rate of the first and the size blow-up of the second
-//! against the paper's landmark-derived definition.
-
-use std::collections::HashMap;
+//! against the paper's landmark-derived definition. Both strawmen use the
+//! same fast deterministic hasher ([`FastMap`]) as the real index, so the
+//! ablation's probe-cost comparison is hasher-for-hasher, not an artifact
+//! of `std`'s DoS-resistant SipHash.
 
 use vicinity_graph::algo::bfs::{bfs_until, bounded_bfs};
 use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::{Distance, NodeId};
 
 /// Strawman 1: the `k` closest nodes (ties broken by BFS visit order).
 #[derive(Debug, Clone)]
 pub struct FixedSizeVicinity {
     owner: NodeId,
-    distances: HashMap<NodeId, Distance>,
+    distances: FastMap<NodeId, Distance>,
 }
 
 impl FixedSizeVicinity {
@@ -86,7 +88,7 @@ impl FixedSizeVicinity {
 pub struct FixedRadiusVicinity {
     owner: NodeId,
     radius: Distance,
-    distances: HashMap<NodeId, Distance>,
+    distances: FastMap<NodeId, Distance>,
 }
 
 impl FixedRadiusVicinity {

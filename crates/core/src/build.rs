@@ -6,7 +6,11 @@
 //! 2. One multi-source BFS from `L` gives every node its nearest landmark
 //!    and ball radius `d(u, ℓ(u))`.
 //! 3. For every node, a bounded BFS up to that radius materialises the
-//!    vicinity `Γ(u)` (members, distances, predecessors, boundary).
+//!    vicinity `Γ(u)` (members, distances, predecessors, boundary). Each
+//!    worker appends its node range into a private [`VicinityChunk`]
+//!    arena; the chunks are spliced into the flat [`VicinityStore`] by
+//!    plain pool concatenation, with the derived shell and hash sections
+//!    built once on the assembled store (no per-node re-hashing).
 //! 4. For every landmark, a full BFS materialises its dense distance row.
 //!
 //! Steps 3 and 4 are embarrassingly parallel across nodes / landmarks and
@@ -21,7 +25,7 @@ use crate::ball::BallRadii;
 use crate::config::{Alpha, OracleConfig};
 use crate::index::{LandmarkTable, VicinityOracle};
 use crate::landmarks::LandmarkSet;
-use crate::vicinity::NodeVicinity;
+use crate::vicinity::{VicinityChunk, VicinityStore};
 
 /// Builder for [`VicinityOracle`].
 ///
@@ -107,7 +111,7 @@ impl OracleBuilder {
         let radii = BallRadii::compute(graph, &landmarks);
 
         // Step 3: vicinities, in parallel over node ranges.
-        let vicinities = build_vicinities(graph, &config, &radii);
+        let store = build_store(graph, &config, &radii);
 
         // Step 4: landmark rows, in parallel over landmarks.
         let landmark_tables = build_landmark_tables(graph, &config, &landmarks);
@@ -117,48 +121,44 @@ impl OracleBuilder {
             node_count: graph.node_count(),
             edge_count: graph.edge_count(),
             landmarks,
-            vicinities,
+            store,
             landmark_tables,
         })
     }
 }
 
-/// Build every node's vicinity, splitting the node range across worker
-/// threads.
-fn build_vicinities(
-    graph: &CsrGraph,
-    config: &OracleConfig,
-    radii: &BallRadii,
-) -> Vec<NodeVicinity> {
+/// Build every node's vicinity into the flat store, splitting the node
+/// range across worker threads. Each worker fills a private chunk arena
+/// (one dense BFS scratch per worker keeps every per-node traversal free
+/// of hashing and allocation); the chunks are spliced in node order, so
+/// the result is independent of the thread count.
+fn build_store(graph: &CsrGraph, config: &OracleConfig, radii: &BallRadii) -> VicinityStore {
     let n = graph.node_count();
     if n == 0 {
-        return Vec::new();
+        return VicinityStore::empty(0, config.backend);
     }
     let threads = config.effective_threads().clamp(1, n);
     let chunk_size = n.div_ceil(threads);
 
-    // One dense BFS scratch per worker keeps every per-node traversal free
-    // of hashing and allocation (the construction hot loop).
-    let build_one = |u: NodeId, scratch: &mut BoundedBfsScratch| {
-        NodeVicinity::build_with_scratch(
-            graph,
-            u,
-            radii.radius_of(u),
-            radii.nearest_landmark(u),
-            config.backend,
-            config.store_paths,
-            Some(scratch),
-        )
+    let fill_chunk = |start: usize, end: usize| -> VicinityChunk {
+        let mut scratch = BoundedBfsScratch::with_node_capacity(n);
+        let mut chunk = VicinityChunk::new(start as NodeId, config.store_paths);
+        for u in start as NodeId..end as NodeId {
+            chunk.push_node(
+                graph,
+                radii.radius_of(u),
+                radii.nearest_landmark(u),
+                &mut scratch,
+            );
+        }
+        chunk
     };
 
     if threads == 1 {
-        let mut scratch = BoundedBfsScratch::with_node_capacity(n);
-        return (0..n as NodeId)
-            .map(|u| build_one(u, &mut scratch))
-            .collect();
+        return VicinityStore::from_chunks(config.backend, vec![fill_chunk(0, n)]);
     }
 
-    let mut chunks: Vec<Vec<NodeVicinity>> = Vec::new();
+    let mut chunks: Vec<VicinityChunk> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk_index in 0..threads {
@@ -167,12 +167,7 @@ fn build_vicinities(
             if start >= end {
                 continue;
             }
-            handles.push(scope.spawn(move || {
-                let mut scratch = BoundedBfsScratch::with_node_capacity(n);
-                (start as NodeId..end as NodeId)
-                    .map(|u| build_one(u, &mut scratch))
-                    .collect::<Vec<_>>()
-            }));
+            handles.push(scope.spawn(move || fill_chunk(start, end)));
         }
         for handle in handles {
             chunks.push(
@@ -182,17 +177,7 @@ fn build_vicinities(
             );
         }
     });
-
-    let mut vicinities = Vec::with_capacity(n);
-    for chunk in chunks {
-        vicinities.extend(chunk);
-    }
-    debug_assert_eq!(vicinities.len(), n);
-    debug_assert!(vicinities
-        .iter()
-        .enumerate()
-        .all(|(i, v)| v.owner() as usize == i));
-    vicinities
+    VicinityStore::from_chunks(config.backend, chunks)
 }
 
 /// Build the dense distance row of every landmark, in parallel.
@@ -296,7 +281,7 @@ mod tests {
         // Thread count must not affect the resulting index (only the config
         // record differs).
         assert_eq!(a.landmarks, b.landmarks);
-        assert_eq!(a.vicinities, b.vicinities);
+        assert_eq!(a.store, b.store);
         assert_eq!(a.landmark_tables, b.landmark_tables);
         let c = OracleBuilder::new(Alpha::PAPER_DEFAULT)
             .seed(6)

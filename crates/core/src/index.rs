@@ -18,7 +18,7 @@ use vicinity_graph::{Distance, NodeId, INFINITY};
 
 use crate::config::OracleConfig;
 use crate::landmarks::LandmarkSet;
-use crate::vicinity::NodeVicinity;
+use crate::vicinity::{VicinityRef, VicinityStore};
 
 /// Sentinel for "unreachable" in the compact landmark rows.
 const UNREACHABLE_U16: u16 = u16::MAX;
@@ -122,8 +122,8 @@ pub struct VicinityOracle {
     pub(crate) node_count: usize,
     pub(crate) edge_count: usize,
     pub(crate) landmarks: LandmarkSet,
-    /// One vicinity per node, indexed by node id.
-    pub(crate) vicinities: Vec<NodeVicinity>,
+    /// Arena-backed flat storage of every node's vicinity.
+    pub(crate) store: VicinityStore,
     /// Landmark id → dense distance row.
     pub(crate) landmark_tables: FastMap<NodeId, LandmarkTable>,
 }
@@ -154,9 +154,16 @@ impl VicinityOracle {
         self.landmarks.contains(u)
     }
 
-    /// The vicinity `Γ(u)`, or `None` when `u` is out of range.
-    pub fn vicinity(&self, u: NodeId) -> Option<&NodeVicinity> {
-        self.vicinities.get(u as usize)
+    /// A borrowed view of the vicinity `Γ(u)`, or `None` when `u` is out
+    /// of range.
+    pub fn vicinity(&self, u: NodeId) -> Option<VicinityRef<'_>> {
+        self.store.get(u)
+    }
+
+    /// The flat vicinity store backing this oracle (memory accounting,
+    /// serialization and layout benchmarks read it directly).
+    pub fn store(&self) -> &VicinityStore {
+        &self.store
     }
 
     /// The dense distance row of landmark `u`, if `u` is a landmark.
@@ -178,41 +185,40 @@ impl VicinityOracle {
     /// Average vicinity size `|Γ(u)|` over all nodes (landmarks included,
     /// with their empty vicinities).
     pub fn average_vicinity_size(&self) -> f64 {
-        if self.vicinities.is_empty() {
+        if self.store.node_count() == 0 {
             return 0.0;
         }
-        self.vicinities.iter().map(|v| v.len() as f64).sum::<f64>() / self.vicinities.len() as f64
+        self.store.total_entries() as f64 / self.store.node_count() as f64
     }
 
     /// Average boundary size `|∂Γ(u)|` over all nodes.
     pub fn average_boundary_size(&self) -> f64 {
-        if self.vicinities.is_empty() {
+        if self.store.node_count() == 0 {
             return 0.0;
         }
-        self.vicinities
-            .iter()
-            .map(|v| v.boundary_len() as f64)
-            .sum::<f64>()
-            / self.vicinities.len() as f64
+        self.store.total_boundary_entries() as f64 / self.store.node_count() as f64
     }
 
     /// Average vicinity radius `d(u, ℓ(u))` over non-landmark nodes — the
     /// quantity of Figure 2 (right).
     pub fn average_vicinity_radius(&self) -> f64 {
-        let non_landmark: Vec<&NodeVicinity> = self
-            .vicinities
-            .iter()
-            .filter(|v| !self.is_landmark(v.owner()))
-            .collect();
-        if non_landmark.is_empty() {
-            return 0.0;
+        let (mut sum, mut count) = (0.0f64, 0usize);
+        for v in self.store.iter() {
+            if !self.is_landmark(v.owner()) {
+                sum += v.radius() as f64;
+                count += 1;
+            }
         }
-        non_landmark.iter().map(|v| v.radius() as f64).sum::<f64>() / non_landmark.len() as f64
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
     }
 
     /// Total number of stored vicinity entries, `Σ_u |Γ(u)|`.
     pub fn total_vicinity_entries(&self) -> u64 {
-        self.vicinities.iter().map(|v| v.entry_count() as u64).sum()
+        self.store.total_entries()
     }
 
     /// Greedy-descent path from landmark `landmark` to node `target`, using
@@ -255,6 +261,7 @@ impl VicinityOracle {
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<VicinityOracle>();
+    assert_send_sync::<VicinityStore>();
     assert_send_sync::<LandmarkTable>();
 };
 

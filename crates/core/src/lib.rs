@@ -71,3 +71,4 @@ pub use config::{Alpha, OracleConfig, SamplingStrategy};
 pub use error::{OracleError, Result};
 pub use index::VicinityOracle;
 pub use query::{DistanceAnswer, PathAnswer, QueryStats};
+pub use vicinity::{VicinityRef, VicinityStore};

@@ -20,9 +20,15 @@ pub struct MemoryReport {
     pub entries_per_node: f64,
     /// Expected entries per node predicted by the model `α·√n`.
     pub predicted_entries_per_node: f64,
-    /// Bytes used by all per-node vicinity tables (members, distances,
-    /// predecessors, boundary lists, hash indices).
+    /// Exact bytes used by the flat vicinity store (header rows, CSR
+    /// offsets, member/distance/predecessor/boundary pools, derived shell
+    /// and hash-slot arenas).
     pub vicinity_bytes: u64,
+    /// Modeled bytes the retired one-`NodeVicinity`-per-node layout would
+    /// need for the same index (six private `Vec`s, a per-node struct
+    /// header and a per-node hash map). See
+    /// [`crate::vicinity::VicinityStore::per_node_layout_bytes`].
+    pub per_node_layout_bytes: u64,
     /// Number of landmark rows stored.
     pub landmark_rows: usize,
     /// Bytes used by the landmark rows.
@@ -45,11 +51,8 @@ impl MemoryReport {
         let nodes = oracle.node_count();
         let alpha = oracle.config().alpha.value();
         let vicinity_entries = oracle.total_vicinity_entries();
-        let vicinity_bytes: u64 = oracle
-            .vicinities
-            .iter()
-            .map(|v| v.memory_bytes() as u64)
-            .sum();
+        let vicinity_bytes = oracle.store.memory_bytes() as u64;
+        let per_node_layout_bytes = oracle.store.per_node_layout_bytes();
         let landmark_bytes: u64 = oracle
             .landmark_tables
             .values()
@@ -70,6 +73,7 @@ impl MemoryReport {
             entries_per_node,
             predicted_entries_per_node: alpha * sqrt_n,
             vicinity_bytes,
+            per_node_layout_bytes,
             landmark_rows: oracle.landmark_tables.len(),
             landmark_bytes,
             total_bytes,
@@ -90,7 +94,8 @@ impl MemoryReport {
              vicinity entries           {:>16}\n\
              entries per node           {:>16.1}\n\
              predicted (alpha*sqrt(n))  {:>16.1}\n\
-             vicinity bytes             {:>16}\n\
+             vicinity bytes (flat)      {:>16}\n\
+             per-node layout (model)    {:>16}\n\
              landmark rows              {:>16}\n\
              landmark bytes             {:>16}\n\
              total bytes                {:>16}\n\
@@ -102,6 +107,7 @@ impl MemoryReport {
             self.entries_per_node,
             self.predicted_entries_per_node,
             self.vicinity_bytes,
+            self.per_node_layout_bytes,
             self.landmark_rows,
             self.landmark_bytes,
             self.total_bytes,
@@ -141,9 +147,18 @@ mod tests {
         // value, since smaller vicinities mean *more* savings).
         assert!(r.entry_savings_factor > 1.0);
         assert!(r.entry_savings_factor >= r.predicted_savings_factor / 5.0);
+        // The flat arena layout must not cost more than the retired
+        // one-object-per-node layout it replaced.
+        assert!(
+            r.vicinity_bytes <= r.per_node_layout_bytes,
+            "flat {} vs per-node {}",
+            r.vicinity_bytes,
+            r.per_node_layout_bytes
+        );
         let table = r.to_table();
         assert!(table.contains("APSP entries"));
         assert!(table.contains("savings"));
+        assert!(table.contains("per-node layout"));
     }
 
     #[test]

@@ -434,7 +434,7 @@ impl VicinityOracle {
         } else {
             (vt, vs, false)
         };
-        let (best, _scanned, _witnesses) = scan.min_boundary_sum(probe);
+        let (best, _scanned, _witnesses) = scan.min_boundary_sum(&probe);
         let Some((distance, witness)) = best else {
             return PathAnswer::Miss;
         };

@@ -6,6 +6,26 @@
 //! a magic number, a version byte, little-endian sections and a trailing
 //! byte-sum checksum so corrupt caches are rejected rather than silently
 //! producing wrong answers.
+//!
+//! ## Format v2 (current writer)
+//!
+//! Sectioned raw-array dumps of the flat [`VicinityStore`]: after the
+//! shared header (config, graph summary, landmark set, landmark rows) the
+//! vicinity index is exactly eight contiguous little-endian arrays —
+//! per-node radii and nearest landmarks, CSR offsets, and the member /
+//! distance / predecessor / boundary pools. Encode and decode move whole
+//! sections with bulk `put_slice` / `copy_to_slice` conversions instead of
+//! per-node loops, so load time is O(bytes); the derived shell indexes and
+//! membership hash slots are rebuilt at load, never stored.
+//!
+//! ## Format v1 (legacy, still readable)
+//!
+//! One record per node (owner, radius, members, distances, predecessors,
+//! boundary), decoded element by element. [`decode`] accepts v1 snapshots
+//! and splices them into the flat store; [`encode_v1`] keeps the writer
+//! around so compatibility tests and the `store_layout` benchmark can
+//! measure the old path. Unknown versions are rejected with an error
+//! naming both supported formats.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -14,17 +34,151 @@ use vicinity_graph::{Distance, NodeId};
 use crate::config::{Alpha, OracleConfig, SamplingStrategy, TableBackend};
 use crate::index::{LandmarkTable, VicinityOracle};
 use crate::landmarks::LandmarkSet;
-use crate::vicinity::NodeVicinity;
+use crate::vicinity::VicinityStore;
 use crate::{OracleError, Result};
 
 const MAGIC: &[u8; 4] = b"VOR1";
-const FORMAT_VERSION: u8 = 1;
+/// Current writer version (the flat-store section format).
+pub const FORMAT_VERSION: u8 = 2;
+/// Legacy per-node record format, still accepted by [`decode`].
+pub const LEGACY_FORMAT_VERSION: u8 = 1;
 
-/// Serialize an oracle to bytes.
-pub fn encode(oracle: &VicinityOracle) -> Bytes {
-    let mut buf = BytesMut::new();
+// ---------------------------------------------------------------------------
+// Checksum. The trailing checksum is the plain sum of every body byte — the
+// same quantity the v1 writer stored, so old snapshots keep verifying — but
+// computed as a SWAR sum over u64 words and fanned out across worker
+// threads for multi-megabyte snapshots.
+
+/// Sum of all bytes of `data`, widened to u64.
+fn byte_sum(data: &[u8]) -> u64 {
+    const PARALLEL_MIN: usize = 4 << 20;
+    if data.len() < PARALLEL_MIN {
+        return byte_sum_serial(data);
+    }
+    let parts = crate::parallel::resolve_worker_threads(0, data.len() / PARALLEL_MIN);
+    let chunk_size = data.len().div_ceil(parts);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || byte_sum_serial(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("checksum worker panicked"))
+            .sum()
+    })
+}
+
+fn byte_sum_serial(data: &[u8]) -> u64 {
+    let mut chunks = data.chunks_exact(8);
+    let mut total = 0u64;
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        // Pairwise-widen the eight byte lanes; exact for a single word.
+        let pairs = (word & 0x00FF_00FF_00FF_00FF) + ((word >> 8) & 0x00FF_00FF_00FF_00FF);
+        let quads = (pairs & 0x0000_FFFF_0000_FFFF) + ((pairs >> 16) & 0x0000_FFFF_0000_FFFF);
+        total += (quads & 0xFFFF_FFFF) + (quads >> 32);
+    }
+    total + chunks.remainder().iter().map(|&b| b as u64).sum::<u64>()
+}
+
+// ---------------------------------------------------------------------------
+// Bulk little-endian array helpers. On little-endian targets the per-element
+// conversions below compile down to straight copies; either way they touch
+// each section once, with no per-node framing in between.
+
+/// Elements converted per staging block by the `put_*s` writers: large
+/// enough that the bulk `put_slice` dominates, small enough (≤64 KiB of
+/// staging) that a multi-MiB section never needs a second full-size copy
+/// in flight.
+const PUT_BLOCK: usize = 8 << 10;
+
+fn put_u16s(buf: &mut BytesMut, values: &[u16]) {
+    let mut raw = [0u8; PUT_BLOCK * 2];
+    for block in values.chunks(PUT_BLOCK) {
+        let staged = &mut raw[..block.len() * 2];
+        for (chunk, v) in staged.chunks_exact_mut(2).zip(block) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(staged);
+    }
+}
+
+fn put_u32s(buf: &mut BytesMut, values: &[u32]) {
+    let mut raw = [0u8; PUT_BLOCK * 4];
+    for block in values.chunks(PUT_BLOCK) {
+        let staged = &mut raw[..block.len() * 4];
+        for (chunk, v) in staged.chunks_exact_mut(4).zip(block) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(staged);
+    }
+}
+
+fn put_u64s(buf: &mut BytesMut, values: &[u64]) {
+    let mut raw = [0u8; PUT_BLOCK * 8];
+    for block in values.chunks(PUT_BLOCK) {
+        let staged = &mut raw[..block.len() * 8];
+        for (chunk, v) in staged.chunks_exact_mut(8).zip(block) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(staged);
+    }
+}
+
+fn get_u32s(cur: &mut &[u8], len: usize) -> Result<Vec<u32>> {
+    ensure(cur, len * 4)?;
+    let (head, tail) = cur.split_at(len * 4);
+    let out = head
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    *cur = tail;
+    Ok(out)
+}
+
+fn get_u64s(cur: &mut &[u8], len: usize) -> Result<Vec<u64>> {
+    ensure(cur, len * 8)?;
+    let (head, tail) = cur.split_at(len * 8);
+    let out = head
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    *cur = tail;
+    Ok(out)
+}
+
+/// Like [`get_u32s`], but fanning the conversion of multi-megabyte
+/// sections out over worker threads writing disjoint output windows.
+fn get_u32s_parallel(cur: &mut &[u8], len: usize) -> Result<Vec<u32>> {
+    const PARALLEL_MIN: usize = 1 << 20; // elements
+    if len < PARALLEL_MIN {
+        return get_u32s(cur, len);
+    }
+    ensure(cur, len * 4)?;
+    let (head, tail) = cur.split_at(len * 4);
+    let mut out = vec![0u32; len];
+    let threads = crate::parallel::resolve_worker_threads(0, len / PARALLEL_MIN);
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (window, raw) in out.chunks_mut(chunk).zip(head.chunks(chunk * 4)) {
+            scope.spawn(move || {
+                for (slot, bytes) in window.iter_mut().zip(raw.chunks_exact(4)) {
+                    *slot = u32::from_le_bytes(bytes.try_into().expect("4-byte chunk"));
+                }
+            });
+        }
+    });
+    *cur = tail;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Shared header (identical bytes in both versions).
+
+fn encode_header(buf: &mut BytesMut, oracle: &VicinityOracle, version: u8) {
     buf.put_slice(MAGIC);
-    buf.put_u8(FORMAT_VERSION);
+    buf.put_u8(version);
 
     // Configuration.
     buf.put_f64_le(oracle.config.alpha.value());
@@ -47,9 +201,7 @@ pub fn encode(oracle: &VicinityOracle) -> Bytes {
     // Landmark set.
     let landmark_nodes = oracle.landmarks.nodes();
     buf.put_u64_le(landmark_nodes.len() as u64);
-    for &l in landmark_nodes {
-        buf.put_u32_le(l);
-    }
+    put_u32s(buf, landmark_nodes);
 
     // Landmark tables, ordered by landmark id for determinism.
     let mut table_ids: Vec<NodeId> = oracle.landmark_tables.keys().copied().collect();
@@ -59,73 +211,26 @@ pub fn encode(oracle: &VicinityOracle) -> Bytes {
         let table = &oracle.landmark_tables[&l];
         buf.put_u32_le(l);
         buf.put_u64_le(table.raw().len() as u64);
-        for &d in table.raw() {
-            buf.put_u16_le(d);
-        }
+        put_u16s(buf, table.raw());
     }
-
-    // Vicinities (in node order).
-    buf.put_u64_le(oracle.vicinities.len() as u64);
-    for v in &oracle.vicinities {
-        let (members, distances, predecessors, boundary, radius, nearest) = v.raw_parts();
-        buf.put_u32_le(v.owner());
-        buf.put_u32_le(radius);
-        buf.put_u32_le(nearest);
-        buf.put_u64_le(members.len() as u64);
-        for &m in members {
-            buf.put_u32_le(m);
-        }
-        for &d in distances {
-            buf.put_u32_le(d);
-        }
-        buf.put_u8(u8::from(!predecessors.is_empty()));
-        for &p in predecessors {
-            buf.put_u32_le(p);
-        }
-        buf.put_u64_le(boundary.len() as u64);
-        for &b in boundary {
-            buf.put_u32_le(b);
-        }
-    }
-
-    let checksum: u64 = buf.iter().map(|&b| b as u64).sum();
-    buf.put_u64_le(checksum);
-    buf.freeze()
 }
 
-/// Deserialize an oracle from bytes produced by [`encode`].
-pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
-    if data.len() < MAGIC.len() + 1 + 8 {
-        return Err(OracleError::Decode("input too short".into()));
-    }
-    let (body, checksum_bytes) = data.split_at(data.len() - 8);
-    let stored = u64::from_le_bytes(
-        checksum_bytes
-            .try_into()
-            .map_err(|_| OracleError::Decode("bad checksum".into()))?,
-    );
-    let computed: u64 = body.iter().map(|&b| b as u64).sum();
-    if stored != computed {
-        return Err(OracleError::Decode(format!(
-            "checksum mismatch (stored {stored}, computed {computed})"
-        )));
-    }
+/// Everything the shared header carries, short of the vicinity sections.
+struct DecodedHeader {
+    config: OracleConfig,
+    node_count: usize,
+    edge_count: usize,
+    landmarks: LandmarkSet,
+    landmark_tables: vicinity_graph::fast_hash::FastMap<NodeId, LandmarkTable>,
+}
 
-    let mut cur = body;
-    let mut magic = [0u8; 4];
-    ensure(&cur, 5)?;
-    cur.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(OracleError::Decode("bad magic number".into()));
-    }
-    let version = cur.get_u8();
-    if version != FORMAT_VERSION {
-        return Err(OracleError::Decode(format!(
-            "unsupported format version {version}"
-        )));
-    }
-
-    ensure(&cur, 8 + 1 + 1 + 8 + 1 + 16)?;
+/// Decode the shared header. `bulk` selects the v2 whole-section reads;
+/// the v1 path passes `false` and walks the landmark rows element by
+/// element, exactly as the legacy decoder did (v1 decoding is a
+/// compatibility path, not a fast path — the `store_layout` benchmark
+/// measures the two against each other).
+fn decode_header(cur: &mut &[u8], bulk: bool) -> Result<DecodedHeader> {
+    ensure(cur, 8 + 1 + 1 + 8 + 1 + 16)?;
     let alpha =
         Alpha::new(cur.get_f64_le()).map_err(|e| OracleError::Decode(format!("bad alpha: {e}")))?;
     let sampling = match cur.get_u8() {
@@ -149,98 +254,78 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
     let edge_count = cur.get_u64_le() as usize;
 
     // Landmark set.
-    ensure(&cur, 8)?;
+    ensure(cur, 8)?;
     let landmark_count = cur.get_u64_le() as usize;
-    ensure(&cur, landmark_count * 4)?;
-    let mut landmark_nodes = Vec::with_capacity(landmark_count);
-    for _ in 0..landmark_count {
-        landmark_nodes.push(cur.get_u32_le());
-    }
+    let landmark_nodes = get_u32s(cur, landmark_count)?;
     let landmarks = LandmarkSet::from_nodes(landmark_nodes, node_count);
 
-    // Landmark tables.
-    ensure(&cur, 8)?;
+    // Landmark tables — the bulk of a snapshot's bytes (each row is 2n
+    // bytes of dense u16 distances).
+    ensure(cur, 8)?;
     let table_count = cur.get_u64_le() as usize;
     let mut landmark_tables = vicinity_graph::fast_hash::FastMap::with_capacity_and_hasher(
         table_count,
         Default::default(),
     );
-    for _ in 0..table_count {
-        ensure(&cur, 12)?;
-        let l = cur.get_u32_le();
-        let len = cur.get_u64_le() as usize;
-        ensure(&cur, len * 2)?;
-        let mut distances = Vec::with_capacity(len);
-        for _ in 0..len {
-            distances.push(cur.get_u16_le());
+    if bulk {
+        // First pass collects (id, payload) descriptors — the row sizes
+        // are in the framing, so the payloads can be converted in
+        // parallel, one worker per group of rows.
+        let mut rows: Vec<(NodeId, &[u8])> = Vec::with_capacity(table_count);
+        let mut payload_bytes = 0usize;
+        for _ in 0..table_count {
+            ensure(cur, 12)?;
+            let l = cur.get_u32_le();
+            let len = cur.get_u64_le() as usize;
+            ensure(cur, len * 2)?;
+            let (payload, tail) = cur.split_at(len * 2);
+            rows.push((l, payload));
+            payload_bytes += len * 2;
+            *cur = tail;
         }
-        landmark_tables.insert(l, LandmarkTable::from_raw(distances));
+        const PARALLEL_MIN: usize = 4 << 20;
+        let threads = crate::parallel::resolve_worker_threads(0, payload_bytes / PARALLEL_MIN);
+        let convert = |group: &[(NodeId, &[u8])]| -> Vec<(NodeId, LandmarkTable)> {
+            group
+                .iter()
+                .map(|&(l, payload)| {
+                    let row = payload
+                        .chunks_exact(2)
+                        .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
+                        .collect();
+                    (l, LandmarkTable::from_raw(row))
+                })
+                .collect()
+        };
+        if threads <= 1 {
+            landmark_tables.extend(convert(&rows));
+        } else {
+            let group_size = rows.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rows
+                    .chunks(group_size)
+                    .map(|group| scope.spawn(move || convert(group)))
+                    .collect();
+                for handle in handles {
+                    landmark_tables.extend(handle.join().expect("landmark decode worker panicked"));
+                }
+            });
+        }
+    } else {
+        for _ in 0..table_count {
+            ensure(cur, 12)?;
+            let l = cur.get_u32_le();
+            let len = cur.get_u64_le() as usize;
+            ensure(cur, len * 2)?;
+            let mut row = Vec::with_capacity(len);
+            for _ in 0..len {
+                row.push(cur.get_u16_le());
+            }
+            landmark_tables.insert(l, LandmarkTable::from_raw(row));
+        }
     }
 
-    // Vicinities.
-    ensure(&cur, 8)?;
-    let vicinity_count = cur.get_u64_le() as usize;
-    if vicinity_count != node_count {
-        return Err(OracleError::Decode(format!(
-            "vicinity count {vicinity_count} does not match node count {node_count}"
-        )));
-    }
-    let mut vicinities = Vec::with_capacity(vicinity_count);
-    for expected_owner in 0..vicinity_count as NodeId {
-        ensure(&cur, 12 + 8)?;
-        let owner = cur.get_u32_le();
-        if owner != expected_owner {
-            return Err(OracleError::Decode(format!(
-                "vicinity out of order: expected owner {expected_owner}, found {owner}"
-            )));
-        }
-        let radius: Distance = cur.get_u32_le();
-        let nearest = cur.get_u32_le();
-        let member_count = cur.get_u64_le() as usize;
-        ensure(&cur, member_count * 8 + 1)?;
-        let mut members = Vec::with_capacity(member_count);
-        for _ in 0..member_count {
-            members.push(cur.get_u32_le());
-        }
-        let mut distances = Vec::with_capacity(member_count);
-        for _ in 0..member_count {
-            distances.push(cur.get_u32_le());
-        }
-        let has_preds = cur.get_u8() != 0;
-        let mut predecessors = Vec::new();
-        if has_preds {
-            ensure(&cur, member_count * 4)?;
-            predecessors.reserve(member_count);
-            for _ in 0..member_count {
-                predecessors.push(cur.get_u32_le());
-            }
-        }
-        ensure(&cur, 8)?;
-        let boundary_count = cur.get_u64_le() as usize;
-        ensure(&cur, boundary_count * 4)?;
-        let mut boundary = Vec::with_capacity(boundary_count);
-        for _ in 0..boundary_count {
-            let idx = cur.get_u32_le();
-            if idx as usize >= member_count {
-                return Err(OracleError::Decode(format!(
-                    "boundary index {idx} out of range for {member_count} members"
-                )));
-            }
-            boundary.push(idx);
-        }
-        vicinities.push(NodeVicinity::from_raw_parts(
-            owner,
-            radius,
-            nearest,
-            members,
-            distances,
-            predecessors,
-            boundary,
-            backend,
-        ));
-    }
-
-    Ok(VicinityOracle {
+    Ok(DecodedHeader {
         config: OracleConfig {
             alpha,
             sampling,
@@ -252,18 +337,323 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
         node_count,
         edge_count,
         landmarks,
-        vicinities,
         landmark_tables,
     })
 }
 
-/// Write an oracle to a file.
+// ---------------------------------------------------------------------------
+// Format v2: flat-store sections.
+
+/// Serialize an oracle to bytes (format v2, the flat-store sections).
+pub fn encode(oracle: &VicinityOracle) -> Bytes {
+    let (radii, nearest, offsets, members, distances, predecessors, boundary_offsets, boundary) =
+        oracle.store.raw_sections();
+    // Section payload is dominated by the pools; reserving up front keeps
+    // the encoder to a single allocation.
+    let estimate = 256
+        + oracle.landmark_tables.len() * (12 + oracle.node_count * 2)
+        + (radii.len() + nearest.len()) * 4
+        + (offsets.len() + boundary_offsets.len()) * 8
+        + (members.len() + distances.len() + predecessors.len() + boundary.len()) * 4;
+    let mut buf = BytesMut::with_capacity(estimate);
+    encode_header(&mut buf, oracle, FORMAT_VERSION);
+
+    put_u32s(&mut buf, radii);
+    put_u32s(&mut buf, nearest);
+    put_u64s(&mut buf, offsets);
+    put_u32s(&mut buf, members);
+    put_u32s(&mut buf, distances);
+    buf.put_u8(u8::from(!predecessors.is_empty()));
+    put_u32s(&mut buf, predecessors);
+    put_u64s(&mut buf, boundary_offsets);
+    put_u32s(&mut buf, boundary);
+
+    let checksum = byte_sum(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+fn decode_v2(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
+    let n = header.node_count;
+    let radii = get_u32s(cur, n)?;
+    let nearest = get_u32s(cur, n)?;
+    let offsets = get_u64s(cur, n + 1)?;
+    if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(OracleError::Decode(
+            "vicinity offsets are not monotonically non-decreasing from 0".into(),
+        ));
+    }
+    let total = offsets[n] as usize;
+    let members = get_u32s_parallel(cur, total)?;
+    let distances = get_u32s_parallel(cur, total)?;
+    ensure(cur, 1)?;
+    let has_preds = cur.get_u8() != 0;
+    let predecessors = if has_preds {
+        get_u32s_parallel(cur, total)?
+    } else {
+        Vec::new()
+    };
+    let boundary_offsets = get_u64s(cur, n + 1)?;
+    if boundary_offsets.first() != Some(&0) || boundary_offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(OracleError::Decode(
+            "boundary offsets are not monotonically non-decreasing from 0".into(),
+        ));
+    }
+    let boundary_total = boundary_offsets[n] as usize;
+    let boundary = get_u32s(cur, boundary_total)?;
+    for u in 0..n {
+        let span = (offsets[u + 1] - offsets[u]) as u32;
+        let (b_start, b_end) = (
+            boundary_offsets[u] as usize,
+            boundary_offsets[u + 1] as usize,
+        );
+        if let Some(&bad) = boundary[b_start..b_end].iter().find(|&&idx| idx >= span) {
+            return Err(OracleError::Decode(format!(
+                "boundary index {bad} out of range for {span} members of node {u}"
+            )));
+        }
+    }
+
+    let store = VicinityStore::from_raw(
+        header.config.backend,
+        radii,
+        nearest,
+        offsets,
+        members,
+        distances,
+        predecessors,
+        boundary_offsets,
+        boundary,
+    );
+    Ok(VicinityOracle {
+        config: header.config,
+        node_count: header.node_count,
+        edge_count: header.edge_count,
+        landmarks: header.landmarks,
+        store,
+        landmark_tables: header.landmark_tables,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Format v1: legacy per-node records.
+
+/// Serialize an oracle in the legacy v1 per-node record format.
+///
+/// Kept for compatibility testing and for the `store_layout` benchmark,
+/// which measures the per-node decode path against the v2 section path.
+/// New snapshots should use [`encode`].
+pub fn encode_v1(oracle: &VicinityOracle) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_header(&mut buf, oracle, LEGACY_FORMAT_VERSION);
+
+    // Vicinities (in node order), one framed record per node — the exact
+    // byte layout the retired per-node writer produced.
+    let (radii, nearest, offsets, members, distances, predecessors, boundary_offsets, boundary) =
+        oracle.store.raw_sections();
+    let n = oracle.store.node_count();
+    buf.put_u64_le(n as u64);
+    for u in 0..n {
+        let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+        buf.put_u32_le(u as NodeId);
+        buf.put_u32_le(radii[u]);
+        buf.put_u32_le(nearest[u]);
+        buf.put_u64_le((end - start) as u64);
+        for &m in &members[start..end] {
+            buf.put_u32_le(m);
+        }
+        for &d in &distances[start..end] {
+            buf.put_u32_le(d);
+        }
+        let has_preds = !predecessors.is_empty() && end > start;
+        buf.put_u8(u8::from(has_preds));
+        if has_preds {
+            for &p in &predecessors[start..end] {
+                buf.put_u32_le(p);
+            }
+        }
+        let (b_start, b_end) = (
+            boundary_offsets[u] as usize,
+            boundary_offsets[u + 1] as usize,
+        );
+        buf.put_u64_le((b_end - b_start) as u64);
+        for &b in &boundary[b_start..b_end] {
+            buf.put_u32_le(b);
+        }
+    }
+
+    let checksum = byte_sum(&buf);
+    buf.put_u64_le(checksum);
+    buf.freeze()
+}
+
+fn decode_v1(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
+    ensure(cur, 8)?;
+    let vicinity_count = cur.get_u64_le() as usize;
+    if vicinity_count != header.node_count {
+        return Err(OracleError::Decode(format!(
+            "vicinity count {vicinity_count} does not match node count {}",
+            header.node_count
+        )));
+    }
+
+    // The v1 records are parsed node by node (the format interleaves
+    // per-node framing with the data, so there is nothing to bulk-copy)
+    // and spliced into the flat pools.
+    let n = vicinity_count;
+    let mut radii = Vec::with_capacity(n);
+    let mut nearest = Vec::with_capacity(n);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut members = Vec::new();
+    let mut distances = Vec::new();
+    let mut predecessors = Vec::new();
+    let mut boundary_offsets = Vec::with_capacity(n + 1);
+    let mut boundary = Vec::new();
+    offsets.push(0u64);
+    boundary_offsets.push(0u64);
+
+    for expected_owner in 0..n as NodeId {
+        ensure(cur, 12 + 8)?;
+        let owner = cur.get_u32_le();
+        if owner != expected_owner {
+            return Err(OracleError::Decode(format!(
+                "vicinity out of order: expected owner {expected_owner}, found {owner}"
+            )));
+        }
+        let radius: Distance = cur.get_u32_le();
+        let nearest_landmark = cur.get_u32_le();
+        let member_count = cur.get_u64_le() as usize;
+        ensure(cur, member_count * 8 + 1)?;
+        let mut node_members = Vec::with_capacity(member_count);
+        for _ in 0..member_count {
+            node_members.push(cur.get_u32_le());
+        }
+        let mut node_distances = Vec::with_capacity(member_count);
+        for _ in 0..member_count {
+            node_distances.push(cur.get_u32_le());
+        }
+        let has_preds = cur.get_u8() != 0;
+        let mut node_predecessors = Vec::new();
+        if has_preds {
+            ensure(cur, member_count * 4)?;
+            node_predecessors.reserve(member_count);
+            for _ in 0..member_count {
+                node_predecessors.push(cur.get_u32_le());
+            }
+        }
+        ensure(cur, 8)?;
+        let boundary_count = cur.get_u64_le() as usize;
+        ensure(cur, boundary_count * 4)?;
+        let mut node_boundary = Vec::with_capacity(boundary_count);
+        for _ in 0..boundary_count {
+            let idx = cur.get_u32_le();
+            if idx as usize >= member_count {
+                return Err(OracleError::Decode(format!(
+                    "boundary index {idx} out of range for {member_count} members"
+                )));
+            }
+            node_boundary.push(idx);
+        }
+
+        radii.push(radius);
+        nearest.push(nearest_landmark);
+        members.extend_from_slice(&node_members);
+        distances.extend_from_slice(&node_distances);
+        predecessors.extend_from_slice(&node_predecessors);
+        boundary.extend_from_slice(&node_boundary);
+        offsets.push(members.len() as u64);
+        boundary_offsets.push(boundary.len() as u64);
+    }
+
+    // The flat predecessor pool must be empty (paths not stored) or
+    // parallel to the member pool. A v1 stream whose per-node `has_preds`
+    // flags disagree (some populated records with, some without) would
+    // silently misalign every span after the first gap — reject it here
+    // rather than hand the store out-of-range slice bounds.
+    if !predecessors.is_empty() && predecessors.len() != members.len() {
+        return Err(OracleError::Decode(format!(
+            "inconsistent per-node predecessor flags: {} predecessor entries for {} members",
+            predecessors.len(),
+            members.len()
+        )));
+    }
+
+    let store = VicinityStore::from_raw(
+        header.config.backend,
+        radii,
+        nearest,
+        offsets,
+        members,
+        distances,
+        predecessors,
+        boundary_offsets,
+        boundary,
+    );
+    Ok(VicinityOracle {
+        config: header.config,
+        node_count: header.node_count,
+        edge_count: header.edge_count,
+        landmarks: header.landmarks,
+        store,
+        landmark_tables: header.landmark_tables,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+
+/// Deserialize an oracle from bytes produced by [`encode`] (format v2) or
+/// by the legacy v1 writer.
+pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
+    if data.len() < MAGIC.len() + 1 + 8 {
+        return Err(OracleError::Decode("input too short".into()));
+    }
+    let (body, checksum_bytes) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(
+        checksum_bytes
+            .try_into()
+            .map_err(|_| OracleError::Decode("bad checksum".into()))?,
+    );
+    let computed = byte_sum(body);
+    if stored != computed {
+        return Err(OracleError::Decode(format!(
+            "checksum mismatch (stored {stored}, computed {computed})"
+        )));
+    }
+
+    let mut cur = body;
+    let mut magic = [0u8; 4];
+    ensure(&cur, 5)?;
+    cur.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(OracleError::Decode("bad magic number".into()));
+    }
+    let version = cur.get_u8();
+    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
+        return Err(OracleError::Decode(format!(
+            "unsupported snapshot format version {version}: this build reads \
+             v{LEGACY_FORMAT_VERSION} (legacy per-node records) and \
+             v{FORMAT_VERSION} (flat-store sections)"
+        )));
+    }
+
+    let bulk = version == FORMAT_VERSION;
+    let header = decode_header(&mut cur, bulk)?;
+    if bulk {
+        decode_v2(&mut cur, header)
+    } else {
+        decode_v1(&mut cur, header)
+    }
+}
+
+/// Write an oracle to a file (format v2).
 pub fn save<P: AsRef<std::path::Path>>(oracle: &VicinityOracle, path: P) -> Result<()> {
     std::fs::write(path, encode(oracle))?;
     Ok(())
 }
 
-/// Read an oracle from a file written by [`save`].
+/// Read an oracle from a file written by [`save`] (or by the legacy v1
+/// writer).
 pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<VicinityOracle> {
     let data = std::fs::read(path)?;
     decode(&data)
@@ -312,6 +702,22 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_snapshots_decode_into_the_flat_store() {
+        for (seed, store_paths, backend) in [
+            (141, true, TableBackend::HashMap),
+            (142, false, TableBackend::SortedArray),
+        ] {
+            let oracle = sample_oracle(seed, store_paths, backend);
+            let v1_bytes = encode_v1(&oracle);
+            assert_eq!(v1_bytes[4], LEGACY_FORMAT_VERSION);
+            let decoded = decode(&v1_bytes).unwrap();
+            assert_eq!(oracle, decoded, "v1 round trip (seed {seed})");
+            // And the two formats decode to identical oracles.
+            assert_eq!(decode(&encode(&oracle)).unwrap(), decoded);
+        }
+    }
+
+    #[test]
     fn decoded_oracle_answers_queries_identically() {
         let g = SocialGraphConfig::small_test()
             .with_nodes(600)
@@ -329,12 +735,76 @@ mod tests {
     }
 
     #[test]
+    fn saturated_landmark_rows_round_trip() {
+        // Rows containing the saturated (u16::MAX - 1) and unreachable
+        // (u16::MAX) sentinels must survive both formats bit-for-bit.
+        let mut oracle = sample_oracle(134, true, TableBackend::HashMap);
+        let landmark = oracle.landmarks.nodes()[0];
+        let n = oracle.node_count;
+        let mut saturated: Vec<Distance> = (0..n as Distance).collect();
+        saturated[1.min(n - 1)] = 70_000; // saturates the u16 row
+        saturated[2.min(n - 1)] = vicinity_graph::INFINITY; // unreachable
+        oracle
+            .landmark_tables
+            .insert(landmark, LandmarkTable::from_distances(&saturated));
+        for bytes in [encode(&oracle), encode_v1(&oracle)] {
+            let decoded = decode(&bytes).unwrap();
+            assert_eq!(oracle, decoded);
+            assert_eq!(
+                decoded.landmark_table(landmark).unwrap().raw(),
+                oracle.landmark_table(landmark).unwrap().raw()
+            );
+        }
+    }
+
+    #[test]
+    fn v1_with_inconsistent_predecessor_flags_is_rejected() {
+        // Hand-written minimal v1 snapshot: two single-member records, but
+        // only the first carries predecessors. The misaligned pool must
+        // surface as a decode error, not a panic on a later query.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"VOR1");
+        buf.put_u8(1); // version
+        buf.put_f64_le(4.0); // alpha
+        buf.put_u8(0); // sampling: degree-proportional
+        buf.put_u8(0); // backend: hash map
+        buf.put_u64_le(0); // seed
+        buf.put_u8(1); // store_paths
+        buf.put_u64_le(2); // node count
+        buf.put_u64_le(1); // edge count
+        buf.put_u64_le(0); // landmark count
+        buf.put_u64_le(0); // table count
+        buf.put_u64_le(2); // vicinity count
+        for (owner, member, has_preds) in [(0u32, 1u32, true), (1, 0, false)] {
+            buf.put_u32_le(owner);
+            buf.put_u32_le(1); // radius
+            buf.put_u32_le(vicinity_graph::INVALID_NODE); // nearest landmark
+            buf.put_u64_le(1); // member count
+            buf.put_u32_le(member);
+            buf.put_u32_le(1); // distance
+            buf.put_u8(u8::from(has_preds));
+            if has_preds {
+                buf.put_u32_le(owner); // predecessor
+            }
+            buf.put_u64_le(0); // boundary count
+        }
+        let checksum = byte_sum(&buf);
+        buf.put_u64_le(checksum);
+
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, OracleError::Decode(_)));
+        assert!(err.to_string().contains("predecessor"), "{err}");
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let oracle = sample_oracle(134, true, TableBackend::HashMap);
-        let mut bytes = encode(&oracle).to_vec();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x5A;
-        assert!(matches!(decode(&bytes), Err(OracleError::Decode(_))));
+        for bytes in [encode(&oracle).to_vec(), encode_v1(&oracle).to_vec()] {
+            let mut bytes = bytes;
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x5A;
+            assert!(matches!(decode(&bytes), Err(OracleError::Decode(_))));
+        }
     }
 
     #[test]
@@ -346,6 +816,14 @@ mod tests {
         }
     }
 
+    /// Recompute the trailing byte-sum checksum after a deliberate header
+    /// mutation, so only the targeted validation fires.
+    fn fix_checksum(bytes: &mut [u8]) {
+        let body_len = bytes.len() - 8;
+        let checksum: u64 = bytes[..body_len].iter().map(|&b| b as u64).sum();
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    }
+
     #[test]
     fn bad_magic_and_version_are_rejected() {
         let oracle = sample_oracle(136, true, TableBackend::HashMap);
@@ -353,20 +831,20 @@ mod tests {
 
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
-        // Fix up the checksum so only the magic check fires.
-        let body_len = bad_magic.len() - 8;
-        let checksum: u64 = bad_magic[..body_len].iter().map(|&b| b as u64).sum();
-        bad_magic[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        fix_checksum(&mut bad_magic);
         let err = decode(&bad_magic).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
 
         let mut bad_version = bytes;
         bad_version[4] = 99;
-        let body_len = bad_version.len() - 8;
-        let checksum: u64 = bad_version[..body_len].iter().map(|&b| b as u64).sum();
-        bad_version[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        fix_checksum(&mut bad_version);
         let err = decode(&bad_version).unwrap_err();
-        assert!(err.to_string().contains("version"), "{err}");
+        let message = err.to_string();
+        // The rejection names the offending version and both supported
+        // formats — no silent checksum-style failure.
+        assert!(message.contains("version 99"), "{message}");
+        assert!(message.contains("v1"), "{message}");
+        assert!(message.contains("v2"), "{message}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Per-node vicinities: `Γ(u) = B(u) ∪ N(B(u))` with distances, shortest
-//! path predecessors and boundary marking.
+//! The flat, arena-backed vicinity store: `Γ(u) = B(u) ∪ N(B(u))` for every
+//! node, with distances, shortest-path predecessors and boundary marking,
+//! laid out as struct-of-arrays pools instead of one heap object per node.
 //!
 //! For unweighted graphs (the paper's evaluation setting) the vicinity has a
 //! convenient closed form: every node in `N(B(u))` is at distance exactly
@@ -10,171 +11,526 @@
 //! Γ(u) = ∅                                    when u ∈ L (radius 0).
 //! ```
 //!
-//! Construction is therefore a single bounded BFS per node, stopping after
-//! the level `d(u, ℓ(u))` has been fully expanded — the "modified shortest
+//! Construction is a single bounded BFS per node (the "modified shortest
 //! path algorithm [16]" of §2.2, with cost proportional to the vicinity
-//! size (`O(α·√n)` in expectation).
+//! size, `O(α·√n)` in expectation). Workers append their nodes into private
+//! [`VicinityChunk`] arenas which are spliced — plain `Vec` concatenations,
+//! no per-node re-hashing — into one [`VicinityStore`].
+//!
+//! ## Why flat?
+//!
+//! The previous layout stored one `NodeVicinity` per node, six private
+//! `Vec`s each: millions of small allocations that queries chased pointers
+//! through and snapshots re-decoded node by node. The store keeps a single
+//! CSR-style `offsets` array into shared `members` / `distances` /
+//! `predecessors` / `boundary` / shell pools, so
+//!
+//! * a query touches contiguous, prefetchable cache lines,
+//! * the whole index serializes as a handful of raw-array sections
+//!   (snapshot format v2 in [`crate::serialize`]), and
+//! * derived structures (per-distance shells, membership hash slots) are
+//!   rebuilt in one pass at load instead of being stored.
+//!
+//! Queries never touch the store directly; they borrow a [`VicinityRef`]
+//! view with the same probe API (`contains` / `distance_to` / shells /
+//! `min_boundary_sum`) the per-node objects used to expose.
 
-use vicinity_graph::algo::bfs::{bounded_bfs, BoundedBfsScratch};
+use vicinity_graph::algo::bfs::BoundedBfsScratch;
 use vicinity_graph::csr::CsrGraph;
-use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::{Distance, NodeId, INVALID_NODE};
 
 use crate::config::TableBackend;
 
-/// The stored vicinity of a single node: members with exact distances,
-/// optional shortest-path predecessors, and the boundary subset.
+#[inline]
+fn hash_id(v: NodeId) -> usize {
+    // The FxHash mixing the per-node hash maps used to apply; the high
+    // half carries the entropy, which is what the power-of-two slot
+    // masks consume.
+    (vicinity_graph::fast_hash::fx_hash_u32(v) >> 32) as usize
+}
+
+/// Number of open-addressing slots for a vicinity of `len` members: the
+/// next power of two at or above `2·len`, capping the load factor at 50 %
+/// so linear probes stay short.
+#[inline]
+fn slot_count(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        (len * 2).next_power_of_two()
+    }
+}
+
+/// Arena-backed struct-of-arrays storage for every node's vicinity.
 ///
-/// Membership probes (`contains` / `get`) are the unit of work the paper
-/// counts as "hash-table look-ups" in Table 3.
+/// Per-node data lives in shared pools addressed through CSR-style offset
+/// arrays; the only per-node storage is one header row (radius + nearest
+/// landmark). Access goes through [`VicinityStore::get`], which hands out a
+/// borrowed [`VicinityRef`] view.
+///
+/// The `shell_*` and `hash_*` fields are derived from the primary pools
+/// (never serialized — snapshot decode rebuilds them in one pass).
 #[derive(Debug, Clone, PartialEq)]
-pub struct NodeVicinity {
-    /// The node this vicinity belongs to.
-    owner: NodeId,
-    /// Ball radius `d(u, ℓ(u))`; `0` for landmarks (whose vicinity is empty).
-    radius: Distance,
-    /// The nearest landmark `ℓ(u)`, or `INVALID_NODE` when none is reachable.
-    nearest_landmark: NodeId,
-    /// Vicinity members sorted by node id.
+pub struct VicinityStore {
+    backend: TableBackend,
+    node_count: usize,
+    /// Ball radius `d(u, ℓ(u))` per node; `0` for landmarks.
+    radii: Vec<Distance>,
+    /// Nearest landmark `ℓ(u)` per node, `INVALID_NODE` when unreachable.
+    nearest: Vec<NodeId>,
+    /// `offsets[u] .. offsets[u + 1]` is node `u`'s span in the member
+    /// pools (`members`, `distances`, `predecessors`, `shell_data`).
+    offsets: Vec<u64>,
+    /// Vicinity members, sorted by node id within each span.
     members: Vec<NodeId>,
     /// `distances[i] = d(owner, members[i])`.
     distances: Vec<Distance>,
-    /// `predecessors[i]` = the neighbour of `members[i]` on a shortest path
-    /// from `owner` (BFS parent). Empty when paths are not stored.
+    /// BFS parents parallel to `members`; empty when paths are not stored.
     predecessors: Vec<NodeId>,
-    /// Indices (into `members`) of boundary nodes — members with at least
-    /// one neighbour outside the vicinity.
+    /// `boundary_offsets[u] .. boundary_offsets[u + 1]` spans `boundary`.
+    boundary_offsets: Vec<u64>,
+    /// Span-local member indices of boundary nodes (members with at least
+    /// one neighbour outside the vicinity).
     boundary: Vec<u32>,
-    /// Member ids grouped by distance ("shells"): `shell_data[shell_offsets[d]
-    /// .. shell_offsets[d + 1]]` holds the ids at exactly distance `d`, each
-    /// group sorted ascending. Derived from `members`/`distances` (never
-    /// serialized); lets the query intersect one distance pair at a time.
-    shell_data: Vec<NodeId>,
-    /// Offsets into `shell_data`, one per distance level `0..=radius` plus a
-    /// trailing end offset. Empty for landmark (empty) vicinities.
+    /// `shell_index[u] .. shell_index[u + 1]` spans `shell_offsets`.
+    shell_index: Vec<u64>,
+    /// Per-node level offsets (span-local, one per populated distance level
+    /// `0..=max` plus a trailing end), derived from `distances`.
     shell_offsets: Vec<u32>,
-    /// Optional hash index from member id to position in `members`,
-    /// using the fast deterministic hasher (membership probes are the
-    /// query hot path).
-    hash_index: Option<FastMap<NodeId, u32>>,
+    /// Member ids grouped by distance within each node span (a permutation
+    /// of that span of `members`; each group sorted ascending).
+    shell_data: Vec<NodeId>,
+    /// `hash_offsets[u] .. hash_offsets[u + 1]` spans `hash_slots`.
+    /// All-empty under [`TableBackend::SortedArray`].
+    hash_offsets: Vec<u64>,
+    /// Flat open-addressing membership tables: each span is a power-of-two
+    /// number of slots holding `local_index + 1` (0 = empty), probed with
+    /// the FxHash mix and linear stepping. Replaces one heap-allocated hash
+    /// map per node.
+    hash_slots: Vec<u32>,
 }
 
-impl NodeVicinity {
-    /// Build the vicinity of `owner` given its ball radius (`None` when no
-    /// landmark is reachable — the vicinity then covers the whole connected
-    /// component of `owner`, which only happens in degenerate inputs).
-    pub fn build(
-        graph: &CsrGraph,
-        owner: NodeId,
-        radius: Option<Distance>,
-        nearest_landmark: Option<NodeId>,
-        backend: TableBackend,
-        store_paths: bool,
-    ) -> Self {
-        Self::build_with_scratch(
-            graph,
-            owner,
-            radius,
-            nearest_landmark,
+impl VicinityStore {
+    /// An empty store over `node_count` nodes (every vicinity empty). Used
+    /// by degenerate builds; real construction goes through chunks.
+    pub fn empty(node_count: usize, backend: TableBackend) -> Self {
+        VicinityStore {
             backend,
-            store_paths,
-            None,
-        )
+            node_count,
+            radii: vec![0; node_count],
+            nearest: vec![INVALID_NODE; node_count],
+            offsets: vec![0; node_count + 1],
+            members: Vec::new(),
+            distances: Vec::new(),
+            predecessors: Vec::new(),
+            boundary_offsets: vec![0; node_count + 1],
+            boundary: Vec::new(),
+            shell_index: vec![0; node_count + 1],
+            shell_offsets: Vec::new(),
+            shell_data: Vec::new(),
+            hash_offsets: vec![0; node_count + 1],
+            hash_slots: Vec::new(),
+        }
     }
 
-    /// Like [`NodeVicinity::build`], optionally reusing a caller-provided
-    /// BFS scratch. The oracle builder runs one bounded BFS per node, so
-    /// threading one scratch per worker removes all per-node hashing and
-    /// allocation from the construction hot loop.
-    #[allow(clippy::too_many_arguments)]
-    pub fn build_with_scratch(
-        graph: &CsrGraph,
-        owner: NodeId,
-        radius: Option<Distance>,
-        nearest_landmark: Option<NodeId>,
-        backend: TableBackend,
-        store_paths: bool,
-        scratch: Option<&mut BoundedBfsScratch>,
-    ) -> Self {
-        let nearest = nearest_landmark.unwrap_or(INVALID_NODE);
-        // A landmark (radius 0) has an empty vicinity by Definition 1.
-        if radius == Some(0) {
-            return NodeVicinity {
-                owner,
-                radius: 0,
-                nearest_landmark: nearest,
-                members: Vec::new(),
-                distances: Vec::new(),
-                predecessors: Vec::new(),
-                boundary: Vec::new(),
-                shell_data: Vec::new(),
-                shell_offsets: Vec::new(),
-                hash_index: matches!(backend, TableBackend::HashMap).then(FastMap::default),
-            };
-        }
-        // No reachable landmark: explore the entire component (bounded by the
-        // hop bound so the BFS terminates naturally).
-        let effective_radius = radius.unwrap_or_else(|| graph.hop_bound());
+    /// Splice worker-local chunk arenas (covering node ranges `0..n` in
+    /// order, without gaps) into one store. Pool contents are concatenated
+    /// verbatim — no per-node work, no re-hashing — and the derived shell
+    /// and hash-slot sections are then built in one pass over the pools.
+    pub fn from_chunks(backend: TableBackend, chunks: Vec<VicinityChunk>) -> Self {
+        let node_count: usize = chunks.iter().map(|c| c.len()).sum();
+        let total_members: usize = chunks.iter().map(|c| c.members.len()).sum();
+        let total_boundary: usize = chunks.iter().map(|c| c.boundary.len()).sum();
+        let store_paths = chunks.iter().any(|c| !c.predecessors.is_empty());
 
-        let visited = match scratch {
-            Some(scratch) => scratch.bounded_bfs(graph, owner, effective_radius),
-            None => bounded_bfs(graph, owner, effective_radius),
-        };
-        let mut entries: Vec<(NodeId, Distance, NodeId)> = visited
-            .iter()
-            .map(|v| (v.node, v.distance, v.parent))
-            .collect();
-        entries.sort_unstable_by_key(|&(node, _, _)| node);
+        let mut radii = Vec::with_capacity(node_count);
+        let mut nearest = Vec::with_capacity(node_count);
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut members = Vec::with_capacity(total_members);
+        let mut distances = Vec::with_capacity(total_members);
+        let mut predecessors = Vec::with_capacity(if store_paths { total_members } else { 0 });
+        let mut boundary_offsets = Vec::with_capacity(node_count + 1);
+        let mut boundary = Vec::with_capacity(total_boundary);
+        offsets.push(0u64);
+        boundary_offsets.push(0u64);
 
-        let members: Vec<NodeId> = entries.iter().map(|&(n, _, _)| n).collect();
-        let distances: Vec<Distance> = entries.iter().map(|&(_, d, _)| d).collect();
-        let predecessors: Vec<NodeId> = if store_paths {
-            entries.iter().map(|&(_, _, p)| p).collect()
-        } else {
-            Vec::new()
-        };
-
-        let hash_index = match backend {
-            TableBackend::HashMap => Some(
-                members
+        for chunk in chunks {
+            assert_eq!(
+                chunk.start as usize,
+                radii.len(),
+                "vicinity chunks must be spliced in contiguous node order"
+            );
+            let member_base = members.len() as u64;
+            let boundary_base = boundary.len() as u64;
+            radii.extend_from_slice(&chunk.radii);
+            nearest.extend_from_slice(&chunk.nearest);
+            offsets.extend(chunk.offsets.iter().skip(1).map(|&o| o + member_base));
+            members.extend_from_slice(&chunk.members);
+            distances.extend_from_slice(&chunk.distances);
+            predecessors.extend_from_slice(&chunk.predecessors);
+            boundary_offsets.extend(
+                chunk
+                    .boundary_offsets
                     .iter()
-                    .enumerate()
-                    .map(|(i, &n)| (n, i as u32))
-                    .collect::<FastMap<_, _>>(),
-            ),
-            TableBackend::SortedArray => None,
-        };
+                    .skip(1)
+                    .map(|&o| o + boundary_base),
+            );
+            boundary.extend_from_slice(&chunk.boundary);
+        }
+        debug_assert_eq!(offsets.len(), node_count + 1);
 
-        let (shell_data, shell_offsets) = build_shells(&members, &distances);
-        let mut vicinity = NodeVicinity {
-            owner,
-            radius: effective_radius,
-            nearest_landmark: nearest,
+        Self::from_raw(
+            backend,
+            radii,
+            nearest,
+            offsets,
             members,
             distances,
             predecessors,
-            boundary: Vec::new(),
-            shell_data,
-            shell_offsets,
-            hash_index,
+            boundary_offsets,
+            boundary,
+        )
+    }
+
+    /// Assemble a store from its primary pools (the exact sections snapshot
+    /// format v2 persists), rebuilding the derived shell and hash sections.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw(
+        backend: TableBackend,
+        radii: Vec<Distance>,
+        nearest: Vec<NodeId>,
+        offsets: Vec<u64>,
+        members: Vec<NodeId>,
+        distances: Vec<Distance>,
+        predecessors: Vec<NodeId>,
+        boundary_offsets: Vec<u64>,
+        boundary: Vec<u32>,
+    ) -> Self {
+        let node_count = radii.len();
+        debug_assert_eq!(offsets.len(), node_count + 1);
+        debug_assert_eq!(boundary_offsets.len(), node_count + 1);
+        debug_assert_eq!(members.len(), distances.len());
+        let mut store = VicinityStore {
+            backend,
+            node_count,
+            radii,
+            nearest,
+            offsets,
+            members,
+            distances,
+            predecessors,
+            boundary_offsets,
+            boundary,
+            shell_index: Vec::new(),
+            shell_offsets: Vec::new(),
+            shell_data: Vec::new(),
+            hash_offsets: Vec::new(),
+            hash_slots: Vec::new(),
         };
-        vicinity.boundary = vicinity.compute_boundary(graph);
-        vicinity
+        store.build_shells();
+        store.build_hash_slots();
+        store
     }
 
-    /// Indices of members that have at least one neighbour outside the
-    /// vicinity (the boundary `∂Γ(u)` of the paper).
-    fn compute_boundary(&self, graph: &CsrGraph) -> Vec<u32> {
-        let mut boundary = Vec::new();
-        for (i, &member) in self.members.iter().enumerate() {
-            let escapes = graph.neighbors(member).iter().any(|&w| !self.contains(w));
-            if escapes {
-                boundary.push(i as u32);
+    /// Group each node's members by distance (counting sort per span).
+    /// Members are id-sorted within a span, so every shell comes out
+    /// id-sorted too. Node spans are independent, so large stores fan the
+    /// work out over scoped worker threads writing disjoint `shell_data`
+    /// slices; the result is identical for any thread count.
+    fn build_shells(&mut self) {
+        let n = self.node_count;
+        self.shell_data = vec![0 as NodeId; self.members.len()];
+        let ranges =
+            partition_by_offsets(&self.offsets, derived_rebuild_threads(self.members.len()));
+        let offsets = &self.offsets;
+        let members = &self.members;
+        let distances = &self.distances;
+
+        let parts: Vec<(Vec<u32>, Vec<u64>)> = if ranges.len() == 1 {
+            vec![shells_for_range(
+                offsets,
+                members,
+                distances,
+                ranges[0],
+                &mut self.shell_data,
+            )]
+        } else {
+            // Hand each worker the exact `shell_data` window its node range
+            // owns (spans are disjoint, so `split_at_mut` suffices).
+            let mut windows = Vec::with_capacity(ranges.len());
+            let mut rest = self.shell_data.as_mut_slice();
+            for &(range_start, range_end) in &ranges {
+                let size = (offsets[range_end] - offsets[range_start]) as usize;
+                let (head, tail) = rest.split_at_mut(size);
+                windows.push(head);
+                rest = tail;
             }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .zip(windows)
+                    .map(|(&range, window)| {
+                        scope.spawn(move || {
+                            shells_for_range(offsets, members, distances, range, window)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shell rebuild worker panicked"))
+                    .collect()
+            })
+        };
+
+        self.shell_offsets = Vec::new();
+        self.shell_index = Vec::with_capacity(n + 1);
+        self.shell_index.push(0);
+        for (pool, index) in parts {
+            let base = self.shell_offsets.len() as u64;
+            self.shell_index.extend(index.iter().map(|&i| i + base));
+            self.shell_offsets.extend_from_slice(&pool);
         }
-        boundary
+        debug_assert_eq!(self.shell_index.len(), n + 1);
     }
 
+    /// Build the flat membership slot arena (HashMap backend only), with
+    /// the same disjoint-window parallelism as [`VicinityStore::build_shells`].
+    fn build_hash_slots(&mut self) {
+        let n = self.node_count;
+        self.hash_slots = Vec::new();
+        if !matches!(self.backend, TableBackend::HashMap) {
+            self.hash_offsets = vec![0; n + 1];
+            return;
+        }
+        let mut hash_offsets = Vec::with_capacity(n + 1);
+        hash_offsets.push(0u64);
+        let mut running = 0u64;
+        for u in 0..n {
+            running += slot_count((self.offsets[u + 1] - self.offsets[u]) as usize) as u64;
+            hash_offsets.push(running);
+        }
+        self.hash_slots = vec![0u32; running as usize];
+        let ranges = partition_by_offsets(&hash_offsets, derived_rebuild_threads(running as usize));
+        let offsets = &self.offsets;
+        let members = &self.members;
+
+        if ranges.len() == 1 {
+            hash_slots_for_range(
+                offsets,
+                &hash_offsets,
+                members,
+                ranges[0],
+                &mut self.hash_slots,
+            );
+        } else {
+            let mut windows = Vec::with_capacity(ranges.len());
+            let mut rest = self.hash_slots.as_mut_slice();
+            for &(range_start, range_end) in &ranges {
+                let size = (hash_offsets[range_end] - hash_offsets[range_start]) as usize;
+                let (head, tail) = rest.split_at_mut(size);
+                windows.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for (&range, window) in ranges.iter().zip(windows) {
+                    let hash_offsets = &hash_offsets;
+                    scope.spawn(move || {
+                        hash_slots_for_range(offsets, hash_offsets, members, range, window)
+                    });
+                }
+            });
+        }
+        self.hash_offsets = hash_offsets;
+    }
+
+    /// Number of nodes covered by the store.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total stored vicinity entries, `Σ_u |Γ(u)|`.
+    pub fn total_entries(&self) -> u64 {
+        self.members.len() as u64
+    }
+
+    /// Total boundary entries, `Σ_u |∂Γ(u)|`.
+    pub fn total_boundary_entries(&self) -> u64 {
+        self.boundary.len() as u64
+    }
+
+    /// Whether shortest-path predecessors are stored.
+    pub fn stores_paths(&self) -> bool {
+        !self.predecessors.is_empty() || self.members.is_empty()
+    }
+
+    /// The membership-table backend the store was built with.
+    pub fn backend(&self) -> TableBackend {
+        self.backend
+    }
+
+    /// Borrow the vicinity view of node `u`, or `None` when out of range.
+    #[inline]
+    pub fn get(&self, u: NodeId) -> Option<VicinityRef<'_>> {
+        let i = u as usize;
+        if i >= self.node_count {
+            return None;
+        }
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let (b_start, b_end) = (
+            self.boundary_offsets[i] as usize,
+            self.boundary_offsets[i + 1] as usize,
+        );
+        let (s_start, s_end) = (
+            self.shell_index[i] as usize,
+            self.shell_index[i + 1] as usize,
+        );
+        let (h_start, h_end) = (
+            self.hash_offsets[i] as usize,
+            self.hash_offsets[i + 1] as usize,
+        );
+        Some(VicinityRef {
+            owner: u,
+            radius: self.radii[i],
+            nearest_landmark: self.nearest[i],
+            members: &self.members[start..end],
+            distances: &self.distances[start..end],
+            predecessors: if self.predecessors.is_empty() {
+                &[]
+            } else {
+                &self.predecessors[start..end]
+            },
+            boundary: &self.boundary[b_start..b_end],
+            shell_offsets: &self.shell_offsets[s_start..s_end],
+            shell_data: &self.shell_data[start..end],
+            hash_slots: &self.hash_slots[h_start..h_end],
+        })
+    }
+
+    /// Iterator over every node's vicinity view, in node order.
+    pub fn iter(&self) -> impl Iterator<Item = VicinityRef<'_>> + '_ {
+        (0..self.node_count as NodeId).map(move |u| self.get(u).expect("in range"))
+    }
+
+    /// Raw primary sections, in snapshot order: `(radii, nearest, offsets,
+    /// members, distances, predecessors, boundary_offsets, boundary)`. The
+    /// derived shell/hash sections are intentionally absent — they are
+    /// rebuilt, never persisted.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_sections(
+        &self,
+    ) -> (
+        &[Distance],
+        &[NodeId],
+        &[u64],
+        &[NodeId],
+        &[Distance],
+        &[NodeId],
+        &[u64],
+        &[u32],
+    ) {
+        (
+            &self.radii,
+            &self.nearest,
+            &self.offsets,
+            &self.members,
+            &self.distances,
+            &self.predecessors,
+            &self.boundary_offsets,
+            &self.boundary,
+        )
+    }
+
+    /// Exact memory footprint of the store in bytes: every pool's length
+    /// times its element size, plus the fixed struct header. There is no
+    /// per-node allocator slack to estimate — that is the point.
+    pub fn memory_bytes(&self) -> usize {
+        self.radii.len() * std::mem::size_of::<Distance>()
+            + self.nearest.len() * std::mem::size_of::<NodeId>()
+            + self.offsets.len() * std::mem::size_of::<u64>()
+            + self.members.len() * std::mem::size_of::<NodeId>()
+            + self.distances.len() * std::mem::size_of::<Distance>()
+            + self.predecessors.len() * std::mem::size_of::<NodeId>()
+            + self.boundary_offsets.len() * std::mem::size_of::<u64>()
+            + self.boundary.len() * std::mem::size_of::<u32>()
+            + self.shell_index.len() * std::mem::size_of::<u64>()
+            + self.shell_offsets.len() * std::mem::size_of::<u32>()
+            + self.shell_data.len() * std::mem::size_of::<NodeId>()
+            + self.hash_offsets.len() * std::mem::size_of::<u64>()
+            + self.hash_slots.len() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Modeled footprint of the retired one-object-per-node layout for the
+    /// same index: per node, six private `Vec`s (members, distances,
+    /// predecessors, boundary, shell data, shell offsets), the struct
+    /// header, and — under the hash backend — a private hash map charged at
+    /// its bucket count (next power of two at ⅞ load) times twice the
+    /// key/value payload, exactly the accounting the old
+    /// `NodeVicinity::memory_bytes` used. Kept so the `store_layout`
+    /// benchmark can report the flat-vs-per-node delta without rebuilding
+    /// the old representation.
+    pub fn per_node_layout_bytes(&self) -> u64 {
+        // 3 header fields + 6 Vec headers (24 bytes each) + Option<FastMap>.
+        const PER_NODE_STRUCT: u64 = 208;
+        let mut total = 0u64;
+        for u in 0..self.node_count {
+            let len = (self.offsets[u + 1] - self.offsets[u]) as usize;
+            let blen = (self.boundary_offsets[u + 1] - self.boundary_offsets[u]) as usize;
+            let shell_levels = (self.shell_index[u + 1] - self.shell_index[u]) as usize;
+            let preds = if self.stores_paths() && len > 0 {
+                len
+            } else {
+                0
+            };
+            let payload = (len * 2 + preds + len/* shell data */) * 4 + blen * 4 + shell_levels * 4;
+            let hash = match self.backend {
+                TableBackend::HashMap if len > 0 => {
+                    let buckets = (len * 8 / 7 + 1).next_power_of_two();
+                    buckets * 2 * std::mem::size_of::<(NodeId, u32)>()
+                }
+                _ => 0,
+            };
+            total += payload as u64 + hash as u64 + PER_NODE_STRUCT;
+        }
+        total
+    }
+}
+
+/// Borrowed view of one node's vicinity inside a [`VicinityStore`].
+///
+/// Carries the same probe API the retired per-node `NodeVicinity` objects
+/// exposed — membership probes (`contains` / `distance_to`) are the unit of
+/// work the paper counts as "hash-table look-ups" in Table 3 — but every
+/// accessor resolves to a contiguous slice of the shared pools.
+#[derive(Debug, Clone, Copy)]
+pub struct VicinityRef<'a> {
+    owner: NodeId,
+    radius: Distance,
+    nearest_landmark: NodeId,
+    members: &'a [NodeId],
+    distances: &'a [Distance],
+    predecessors: &'a [NodeId],
+    boundary: &'a [u32],
+    shell_offsets: &'a [u32],
+    shell_data: &'a [NodeId],
+    hash_slots: &'a [u32],
+}
+
+impl PartialEq for VicinityRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        // Derived sections (shells, hash slots) follow from the primary
+        // ones, so semantic equality compares only the primary data.
+        self.owner == other.owner
+            && self.radius == other.radius
+            && self.nearest_landmark == other.nearest_landmark
+            && self.members == other.members
+            && self.distances == other.distances
+            && self.predecessors == other.predecessors
+            && self.boundary == other.boundary
+    }
+}
+
+impl<'a> VicinityRef<'a> {
     /// The node this vicinity belongs to.
     pub fn owner(&self) -> NodeId {
         self.owner
@@ -206,12 +562,12 @@ impl NodeVicinity {
     }
 
     /// Vicinity members, sorted by node id.
-    pub fn members(&self) -> &[NodeId] {
-        &self.members
+    pub fn members(&self) -> &'a [NodeId] {
+        self.members
     }
 
     /// Iterator over `(member, distance)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + 'a {
         self.members
             .iter()
             .copied()
@@ -221,7 +577,7 @@ impl NodeVicinity {
     /// Member ids at exactly distance `d` from the owner, sorted ascending.
     /// Empty for `d > radius` (and for landmark vicinities).
     #[inline]
-    pub fn shell(&self, d: Distance) -> &[NodeId] {
+    pub fn shell(&self, d: Distance) -> &'a [NodeId] {
         let d = d as usize;
         if d + 1 >= self.shell_offsets.len() {
             return &[];
@@ -232,7 +588,7 @@ impl NodeVicinity {
     }
 
     /// Largest distance with a non-empty shell — the true extent of the
-    /// stored ball. Usually equals [`NodeVicinity::radius`], but stays
+    /// stored ball. Usually equals [`VicinityRef::radius`], but stays
     /// small when the nominal radius degenerates (landmark-free
     /// vicinities use the graph's hop bound as their radius).
     #[inline]
@@ -241,10 +597,12 @@ impl NodeVicinity {
     }
 
     /// Iterator over boundary `(member, distance)` pairs.
-    pub fn boundary_iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + '_ {
+    pub fn boundary_iter(&self) -> impl Iterator<Item = (NodeId, Distance)> + 'a {
+        let members = self.members;
+        let distances = self.distances;
         self.boundary
             .iter()
-            .map(move |&i| (self.members[i as usize], self.distances[i as usize]))
+            .map(move |&i| (members[i as usize], distances[i as usize]))
     }
 
     /// Minimum of `d(scan_owner, w) + d(probe_owner, w)` over all witnesses
@@ -255,19 +613,22 @@ impl NodeVicinity {
     /// merge over the two id arrays rather than per-node hash probes. On
     /// large vicinities this is the query hot loop, and the merge's linear,
     /// prefetchable scans are several times faster than pointer-chasing a
-    /// hash table per boundary node (the probes miss cache almost every
-    /// time on a 100k-node index).
+    /// hash table per boundary node — doubly so now that both sides are
+    /// single contiguous pool spans.
     ///
     /// `scanned` and `witnesses` report the same work counters the probe
     /// loop used to: boundary nodes considered and intersection size.
-    pub fn min_boundary_sum(&self, probe: &NodeVicinity) -> (Option<(Distance, NodeId)>, u64, u64) {
-        let probe_members = &probe.members;
-        let probe_distances = &probe.distances;
+    pub fn min_boundary_sum(
+        &self,
+        probe: &VicinityRef<'_>,
+    ) -> (Option<(Distance, NodeId)>, u64, u64) {
+        let probe_members = probe.members;
+        let probe_distances = probe.distances;
         let mut best: Option<(Distance, NodeId)> = None;
         let mut scanned = 0u64;
         let mut witnesses = 0u64;
         let mut j = 0usize;
-        for &idx in &self.boundary {
+        for &idx in self.boundary {
             let w = self.members[idx as usize];
             scanned += 1;
             // Advance the probe cursor to the first member >= w. Galloping
@@ -295,13 +656,27 @@ impl NodeVicinity {
         (best, scanned, witnesses)
     }
 
-    /// Position of `v` in the member arrays, if present. One membership
-    /// probe (a hash look-up or a binary search depending on the backend).
+    /// Position of `v` in the member span, if present. One membership probe:
+    /// a flat-slot hash probe under the hash backend, a binary search under
+    /// the sorted-array backend.
     #[inline]
     fn position(&self, v: NodeId) -> Option<usize> {
-        match &self.hash_index {
-            Some(index) => index.get(&v).map(|&i| i as usize),
-            None => self.members.binary_search(&v).ok(),
+        if self.hash_slots.is_empty() {
+            return self.members.binary_search(&v).ok();
+        }
+        let mask = self.hash_slots.len() - 1;
+        let mut i = hash_id(v) & mask;
+        loop {
+            match self.hash_slots[i] {
+                0 => return None,
+                slot => {
+                    let local = (slot - 1) as usize;
+                    if self.members[local] == v {
+                        return Some(local);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
         }
     }
 
@@ -336,7 +711,7 @@ impl NodeVicinity {
 
     /// Reconstruct the shortest path from the owner to `v` (inclusive), by
     /// chasing stored predecessors. Every intermediate node lies in the ball
-    /// and therefore in the vicinity, so the chase never leaves the table.
+    /// and therefore in the vicinity, so the chase never leaves the span.
     /// Returns `None` when `v` is not a member or paths are not stored.
     pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
         if self.predecessors.is_empty() && v != self.owner {
@@ -354,24 +729,16 @@ impl NodeVicinity {
         Some(path)
     }
 
-    /// Approximate memory footprint in bytes (member, distance, predecessor
-    /// and boundary arrays plus the hash index if present).
+    /// This node's share of the store, in bytes: its pool spans plus its
+    /// flat hash slots. Per-node object overhead is zero by construction.
     pub fn memory_bytes(&self) -> usize {
-        let base = self.members.len() * std::mem::size_of::<NodeId>()
-            + self.distances.len() * std::mem::size_of::<Distance>()
-            + self.predecessors.len() * std::mem::size_of::<NodeId>()
-            + self.boundary.len() * std::mem::size_of::<u32>()
-            + self.shell_data.len() * std::mem::size_of::<NodeId>()
-            + self.shell_offsets.len() * std::mem::size_of::<u32>()
-            + std::mem::size_of::<Self>();
-        // A HashMap entry costs roughly 2× the key/value payload once load
-        // factor and control bytes are accounted for.
-        let hash = self
-            .hash_index
-            .as_ref()
-            .map(|h| h.capacity() * (std::mem::size_of::<(NodeId, u32)>() * 2))
-            .unwrap_or(0);
-        base + hash
+        std::mem::size_of_val(self.members)
+            + std::mem::size_of_val(self.distances)
+            + std::mem::size_of_val(self.predecessors)
+            + std::mem::size_of_val(self.boundary)
+            + std::mem::size_of_val(self.shell_data)
+            + std::mem::size_of_val(self.shell_offsets)
+            + std::mem::size_of_val(self.hash_slots)
     }
 
     /// Number of stored table entries (one per vicinity member), the unit
@@ -379,90 +746,236 @@ impl NodeVicinity {
     pub fn entry_count(&self) -> usize {
         self.members.len()
     }
+}
 
-    /// Internal constructor used by deserialization.
-    // The argument list mirrors the on-disk field order one-to-one; a
-    // params struct would just duplicate the type's own definition.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_raw_parts(
-        owner: NodeId,
-        radius: Distance,
-        nearest_landmark: NodeId,
-        members: Vec<NodeId>,
-        distances: Vec<Distance>,
-        predecessors: Vec<NodeId>,
-        boundary: Vec<u32>,
-        backend: TableBackend,
-    ) -> Self {
-        let hash_index = match backend {
-            TableBackend::HashMap => Some(
-                members
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &n)| (n, i as u32))
-                    .collect::<FastMap<_, _>>(),
-            ),
-            TableBackend::SortedArray => None,
-        };
-        let (shell_data, shell_offsets) = build_shells(&members, &distances);
-        NodeVicinity {
-            owner,
-            radius,
-            nearest_landmark,
-            members,
-            distances,
-            predecessors,
-            boundary,
-            shell_data,
-            shell_offsets,
-            hash_index,
+/// A worker-local arena covering a contiguous node range `[start, start+k)`.
+///
+/// Construction workers append one node at a time with
+/// [`VicinityChunk::push_node`]; the chunks are then spliced into a
+/// [`VicinityStore`] by plain pool concatenation (`from_chunks`). Chunks
+/// hold only the primary sections — shells and hash slots are built once,
+/// on the assembled store.
+#[derive(Debug, Clone)]
+pub struct VicinityChunk {
+    start: NodeId,
+    store_paths: bool,
+    radii: Vec<Distance>,
+    nearest: Vec<NodeId>,
+    /// Chunk-local CSR offsets (leading 0, one entry per pushed node).
+    offsets: Vec<u64>,
+    members: Vec<NodeId>,
+    distances: Vec<Distance>,
+    predecessors: Vec<NodeId>,
+    boundary_offsets: Vec<u64>,
+    boundary: Vec<u32>,
+}
+
+impl VicinityChunk {
+    /// An empty chunk whose first pushed node is `start`.
+    pub fn new(start: NodeId, store_paths: bool) -> Self {
+        VicinityChunk {
+            start,
+            store_paths,
+            radii: Vec::new(),
+            nearest: Vec::new(),
+            offsets: vec![0],
+            members: Vec::new(),
+            distances: Vec::new(),
+            predecessors: Vec::new(),
+            boundary_offsets: vec![0],
+            boundary: Vec::new(),
         }
     }
 
-    /// Raw accessors for serialization: `(members, distances, predecessors,
-    /// boundary, radius, nearest_landmark)`.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn raw_parts(
-        &self,
-    ) -> (&[NodeId], &[Distance], &[NodeId], &[u32], Distance, NodeId) {
-        (
-            &self.members,
-            &self.distances,
-            &self.predecessors,
-            &self.boundary,
-            self.radius,
-            self.nearest_landmark,
-        )
+    /// Number of nodes pushed so far.
+    pub fn len(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// True when no nodes have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.radii.is_empty()
+    }
+
+    /// The node id the next `push_node` call will build.
+    pub fn next_node(&self) -> NodeId {
+        self.start + self.radii.len() as NodeId
+    }
+
+    /// Build and append the vicinity of the chunk's next node, given its
+    /// ball radius (`None` when no landmark is reachable — the vicinity then
+    /// covers the node's whole connected component, which only happens in
+    /// degenerate inputs). One bounded BFS through the shared scratch; the
+    /// boundary is computed by binary searches over the freshly appended,
+    /// id-sorted member span.
+    pub fn push_node(
+        &mut self,
+        graph: &CsrGraph,
+        radius: Option<Distance>,
+        nearest_landmark: Option<NodeId>,
+        scratch: &mut BoundedBfsScratch,
+    ) {
+        let owner = self.next_node();
+        let nearest = nearest_landmark.unwrap_or(INVALID_NODE);
+        // A landmark (radius 0) has an empty vicinity by Definition 1.
+        if radius == Some(0) {
+            self.radii.push(0);
+            self.nearest.push(nearest);
+            self.offsets.push(self.members.len() as u64);
+            self.boundary_offsets.push(self.boundary.len() as u64);
+            return;
+        }
+        // No reachable landmark: explore the entire component (bounded by
+        // the hop bound so the BFS terminates naturally).
+        let effective_radius = radius.unwrap_or_else(|| graph.hop_bound());
+        let visited = scratch.bounded_bfs(graph, owner, effective_radius);
+
+        let mut entries: Vec<(NodeId, Distance, NodeId)> = visited
+            .iter()
+            .map(|v| (v.node, v.distance, v.parent))
+            .collect();
+        entries.sort_unstable_by_key(|&(node, _, _)| node);
+
+        let base = self.members.len();
+        for &(node, distance, parent) in &entries {
+            self.members.push(node);
+            self.distances.push(distance);
+            if self.store_paths {
+                self.predecessors.push(parent);
+            }
+        }
+        let span = &self.members[base..];
+        for (local, &(member, _, _)) in entries.iter().enumerate() {
+            let escapes = graph
+                .neighbors(member)
+                .iter()
+                .any(|&w| span.binary_search(&w).is_err());
+            if escapes {
+                self.boundary.push(local as u32);
+            }
+        }
+        self.radii.push(effective_radius);
+        self.nearest.push(nearest);
+        self.offsets.push(self.members.len() as u64);
+        self.boundary_offsets.push(self.boundary.len() as u64);
     }
 }
 
-/// Group member ids by distance (counting sort). `members` is sorted by id,
-/// so each resulting shell is sorted by id too.
-fn build_shells(members: &[NodeId], distances: &[Distance]) -> (Vec<NodeId>, Vec<u32>) {
-    if members.is_empty() {
-        return (Vec::new(), Vec::new());
+/// Worker count for derived-section rebuilds: one per available core,
+/// engaged only past a pool size where the fan-out pays for itself.
+fn derived_rebuild_threads(pool_entries: usize) -> usize {
+    const MIN_ENTRIES_PER_WORKER: usize = 1 << 16;
+    crate::parallel::resolve_worker_threads(0, pool_entries / MIN_ENTRIES_PER_WORKER)
+}
+
+/// Split `0 .. offsets.len() - 1` into at most `parts` contiguous node
+/// ranges carrying roughly equal pool mass (by `offsets`). Empty ranges are
+/// dropped; the concatenation of the result always covers every node.
+fn partition_by_offsets(offsets: &[u64], parts: usize) -> Vec<(usize, usize)> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    if parts <= 1 || n == 0 || total == 0 {
+        return vec![(0, n)];
     }
-    // Size by the largest distance actually present, not the nominal ball
-    // radius: for landmark-free vicinities the radius degenerates to the
-    // graph's hop bound (~n), which would make this O(n) per node.
-    let max_distance = distances.iter().copied().max().unwrap_or(0);
-    let levels = max_distance as usize + 1;
-    let mut counts = vec![0u32; levels + 1];
-    for &d in distances {
-        counts[d as usize + 1] += 1;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for part in 1..=parts {
+        let target = total * part as u64 / parts as u64;
+        let mut end = start;
+        while end < n && offsets[end + 1] <= target {
+            end += 1;
+        }
+        if part == parts {
+            end = n; // trailing zero-mass nodes belong to the last range
+        }
+        if end > start {
+            ranges.push((start, end));
+            start = end;
+        }
     }
-    for level in 0..levels {
-        counts[level + 1] += counts[level];
+    debug_assert_eq!(ranges.first().map(|r| r.0), Some(0));
+    debug_assert_eq!(ranges.last().map(|r| r.1), Some(n));
+    ranges
+}
+
+/// Counting-sort the members of nodes `range` into their shell order,
+/// writing grouped ids into `out` (the `shell_data` window owned by the
+/// range) and returning the range's level-offset pool plus per-node end
+/// indices into it.
+fn shells_for_range(
+    offsets: &[u64],
+    members: &[NodeId],
+    distances: &[Distance],
+    range: (usize, usize),
+    out: &mut [NodeId],
+) -> (Vec<u32>, Vec<u64>) {
+    let (start_node, end_node) = range;
+    let base = offsets[start_node] as usize;
+    let mut pool: Vec<u32> = Vec::new();
+    let mut index: Vec<u64> = Vec::with_capacity(end_node - start_node);
+    // Reusable per-node counting-sort scratch, sized by the *populated*
+    // levels of each node (a landmark-free vicinity's nominal radius
+    // degenerates to the hop bound; sizing by it would cost O(n) here).
+    let mut counts: Vec<u32> = Vec::new();
+    for u in start_node..end_node {
+        let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+        if start == end {
+            index.push(pool.len() as u64);
+            continue;
+        }
+        let span_distances = &distances[start..end];
+        let levels = span_distances.iter().copied().max().unwrap_or(0) as usize + 1;
+        counts.clear();
+        counts.resize(levels + 1, 0);
+        for &d in span_distances {
+            counts[d as usize + 1] += 1;
+        }
+        for level in 0..levels {
+            counts[level + 1] += counts[level];
+        }
+        pool.extend_from_slice(&counts);
+        // `counts` now holds the level offsets; reuse it as the
+        // counting-sort cursors (it is rebuilt for the next node).
+        for (local, &d) in span_distances.iter().enumerate() {
+            let slot = counts[d as usize] as usize;
+            out[start - base + slot] = members[start + local];
+            counts[d as usize] += 1;
+        }
+        index.push(pool.len() as u64);
     }
-    let offsets = counts;
-    let mut cursors = offsets.clone();
-    let mut shell_data = vec![0 as NodeId; members.len()];
-    for (&id, &d) in members.iter().zip(distances.iter()) {
-        let slot = cursors[d as usize];
-        shell_data[slot as usize] = id;
-        cursors[d as usize] += 1;
+    (pool, index)
+}
+
+/// Fill the flat membership slots of nodes `range` inside `out` (the
+/// `hash_slots` window owned by the range).
+fn hash_slots_for_range(
+    offsets: &[u64],
+    hash_offsets: &[u64],
+    members: &[NodeId],
+    range: (usize, usize),
+    out: &mut [u32],
+) {
+    let (start_node, end_node) = range;
+    let base = hash_offsets[start_node] as usize;
+    for u in start_node..end_node {
+        let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+        let (slot_start, slot_end) = (
+            hash_offsets[u] as usize - base,
+            hash_offsets[u + 1] as usize - base,
+        );
+        if slot_start == slot_end {
+            continue;
+        }
+        let span = &mut out[slot_start..slot_end];
+        let mask = span.len() - 1;
+        for (local, &member) in members[start..end].iter().enumerate() {
+            let mut i = hash_id(member) & mask;
+            while span[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            span[i] = local as u32 + 1;
+        }
     }
-    (shell_data, offsets)
 }
 
 /// Whether two ascending id slices share an element. Scans the smaller
@@ -499,22 +1012,29 @@ mod tests {
     use vicinity_graph::builder::GraphBuilder;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
 
-    fn build(graph: &CsrGraph, owner: NodeId, radius: Distance) -> NodeVicinity {
-        NodeVicinity::build(
-            graph,
-            owner,
-            Some(radius),
-            Some(0),
-            TableBackend::HashMap,
-            true,
-        )
+    /// Build a store where every node uses the same fixed radius and
+    /// nearest landmark — the direct replacement for constructing
+    /// standalone per-node vicinities in the old layout's tests.
+    fn store_with_radius(
+        graph: &CsrGraph,
+        radius: Distance,
+        nearest: NodeId,
+        backend: TableBackend,
+        store_paths: bool,
+    ) -> VicinityStore {
+        let mut scratch = BoundedBfsScratch::with_node_capacity(graph.node_count());
+        let mut chunk = VicinityChunk::new(0, store_paths);
+        for _ in 0..graph.node_count() {
+            chunk.push_node(graph, Some(radius), Some(nearest), &mut scratch);
+        }
+        VicinityStore::from_chunks(backend, vec![chunk])
     }
 
     /// Reference implementation of the merge intersection: per-boundary-node
     /// membership probes, exactly what the query loop did before the merge.
     fn probe_min_boundary_sum(
-        scan: &NodeVicinity,
-        probe: &NodeVicinity,
+        scan: &VicinityRef<'_>,
+        probe: &VicinityRef<'_>,
     ) -> Option<(Distance, NodeId)> {
         let mut best: Option<(Distance, NodeId)> = None;
         for (w, d_scan) in scan.boundary_iter() {
@@ -531,25 +1051,24 @@ mod tests {
     #[test]
     fn merge_intersection_matches_probe_loop() {
         let g = SocialGraphConfig::small_test().generate(61);
-        let vicinities: Vec<NodeVicinity> = (0..40u32)
-            .map(|u| build(&g, u * 7 % g.node_count() as u32, 2))
-            .collect();
+        let store = store_with_radius(&g, 2, 0, TableBackend::HashMap, true);
+        let owners: Vec<NodeId> = (0..40u32).map(|u| u * 7 % g.node_count() as u32).collect();
         let mut intersections = 0;
-        for a in &vicinities {
-            for b in &vicinities {
-                if a.owner() == b.owner() {
+        for &ua in &owners {
+            for &ub in &owners {
+                if ua == ub {
                     continue;
                 }
-                let (merged, scanned, witnesses) = a.min_boundary_sum(b);
-                let probed = probe_min_boundary_sum(a, b);
+                let a = store.get(ua).unwrap();
+                let b = store.get(ub).unwrap();
+                let (merged, scanned, witnesses) = a.min_boundary_sum(&b);
+                let probed = probe_min_boundary_sum(&a, &b);
                 // The minimising witness can differ when several achieve the
                 // minimum; the distance must match exactly.
                 assert_eq!(
                     merged.map(|(d, _)| d),
                     probed.map(|(d, _)| d),
-                    "pair ({}, {})",
-                    a.owner(),
-                    b.owner()
+                    "pair ({ua}, {ub})"
                 );
                 assert!(scanned <= a.boundary_len() as u64);
                 if merged.is_some() {
@@ -567,7 +1086,8 @@ mod tests {
     #[test]
     fn vicinity_on_path_graph() {
         let g = classic::path(10);
-        let v = build(&g, 5, 2);
+        let store = store_with_radius(&g, 2, 0, TableBackend::HashMap, true);
+        let v = store.get(5).unwrap();
         // Members: nodes at distance <= 2 from node 5.
         assert_eq!(v.members(), &[3, 4, 5, 6, 7]);
         assert_eq!(v.len(), 5);
@@ -584,7 +1104,8 @@ mod tests {
     #[test]
     fn boundary_on_path_graph() {
         let g = classic::path(10);
-        let v = build(&g, 5, 2);
+        let store = store_with_radius(&g, 2, 0, TableBackend::HashMap, true);
+        let v = store.get(5).unwrap();
         // Nodes 3 and 7 have neighbours (2 and 8) outside the vicinity.
         let boundary: Vec<NodeId> = v.boundary_iter().map(|(n, _)| n).collect();
         assert_eq!(boundary, vec![3, 7]);
@@ -596,7 +1117,8 @@ mod tests {
     #[test]
     fn landmark_vicinity_is_empty() {
         let g = classic::path(5);
-        let v = NodeVicinity::build(&g, 2, Some(0), Some(2), TableBackend::HashMap, true);
+        let store = store_with_radius(&g, 0, 2, TableBackend::HashMap, true);
+        let v = store.get(2).unwrap();
         assert!(v.is_empty());
         assert_eq!(v.len(), 0);
         assert_eq!(v.boundary_len(), 0);
@@ -608,7 +1130,8 @@ mod tests {
     #[test]
     fn paths_chase_predecessors_correctly() {
         let g = classic::grid(5, 5);
-        let v = build(&g, 12, 3);
+        let store = store_with_radius(&g, 3, 0, TableBackend::HashMap, true);
+        let v = store.get(12).unwrap();
         for (member, dist) in v.iter() {
             let path = v.path_to(member).expect("member path must exist");
             assert_eq!(path.len() as Distance, dist + 1);
@@ -624,19 +1147,23 @@ mod tests {
     #[test]
     fn without_path_storage_no_predecessors() {
         let g = classic::grid(4, 4);
-        let v = NodeVicinity::build(&g, 5, Some(2), Some(0), TableBackend::SortedArray, false);
+        let store = store_with_radius(&g, 2, 0, TableBackend::SortedArray, false);
+        let v = store.get(5).unwrap();
         assert!(!v.stores_paths());
         assert_eq!(v.predecessor_of(6), None);
         assert_eq!(v.path_to(6), None);
         // Distances still work.
         assert_eq!(v.distance_to(6), Some(1));
+        assert!(!store.stores_paths());
     }
 
     #[test]
     fn backends_agree() {
         let g = SocialGraphConfig::small_test().generate(61);
-        let hash = NodeVicinity::build(&g, 10, Some(3), Some(0), TableBackend::HashMap, true);
-        let sorted = NodeVicinity::build(&g, 10, Some(3), Some(0), TableBackend::SortedArray, true);
+        let hash_store = store_with_radius(&g, 3, 0, TableBackend::HashMap, true);
+        let sorted_store = store_with_radius(&g, 3, 0, TableBackend::SortedArray, true);
+        let hash = hash_store.get(10).unwrap();
+        let sorted = sorted_store.get(10).unwrap();
         assert_eq!(hash.members(), sorted.members());
         assert_eq!(hash.len(), sorted.len());
         assert_eq!(hash.boundary_len(), sorted.boundary_len());
@@ -644,15 +1171,17 @@ mod tests {
             assert_eq!(sorted.distance_to(m), Some(d));
             assert_eq!(sorted.predecessor_of(m), hash.predecessor_of(m));
         }
-        // The hash backend costs more memory.
-        assert!(hash.memory_bytes() >= sorted.memory_bytes());
+        // The hash backend costs more memory (it carries the slot arena).
+        assert!(hash.memory_bytes() > sorted.memory_bytes());
+        assert!(hash_store.memory_bytes() > sorted_store.memory_bytes());
     }
 
     #[test]
     fn distances_match_reference_bfs() {
         let g = SocialGraphConfig::small_test().generate(62);
         let reference = bfs_distances(&g, 0);
-        let v = NodeVicinity::build(&g, 0, Some(3), Some(7), TableBackend::SortedArray, true);
+        let store = store_with_radius(&g, 3, 7, TableBackend::SortedArray, true);
+        let v = store.get(0).unwrap();
         for (member, dist) in v.iter() {
             assert_eq!(dist, reference[member as usize], "member {member}");
         }
@@ -673,7 +1202,13 @@ mod tests {
         b.add_edge(1, 2);
         b.add_edge(3, 4);
         let g = b.build_undirected();
-        let v = NodeVicinity::build(&g, 0, None, None, TableBackend::HashMap, true);
+        let mut scratch = BoundedBfsScratch::with_node_capacity(6);
+        let mut chunk = VicinityChunk::new(0, true);
+        for _ in 0..6 {
+            chunk.push_node(&g, None, None, &mut scratch);
+        }
+        let store = VicinityStore::from_chunks(TableBackend::HashMap, vec![chunk]);
+        let v = store.get(0).unwrap();
         assert_eq!(v.members(), &[0, 1, 2]);
         assert_eq!(v.nearest_landmark(), None);
         // The whole component is inside, so there is no boundary.
@@ -683,26 +1218,89 @@ mod tests {
     #[test]
     fn entry_count_and_memory() {
         let g = classic::complete(10);
-        let v = build(&g, 0, 1);
+        let store = store_with_radius(&g, 1, 0, TableBackend::HashMap, true);
+        let v = store.get(0).unwrap();
         assert_eq!(v.entry_count(), 10);
         assert!(v.memory_bytes() > 0);
+        assert_eq!(store.total_entries(), 100);
+        assert!(store.memory_bytes() > 0);
+        // The flat layout beats the modeled per-node layout.
+        assert!((store.memory_bytes() as u64) < store.per_node_layout_bytes());
     }
 
     #[test]
-    fn raw_parts_round_trip() {
+    fn chunk_splicing_matches_single_chunk_build() {
+        let g = SocialGraphConfig::small_test().generate(63);
+        let n = g.node_count();
+        let single = store_with_radius(&g, 2, 0, TableBackend::HashMap, true);
+
+        // Same store assembled from three uneven worker chunks.
+        let mut scratch = BoundedBfsScratch::with_node_capacity(n);
+        let mut chunks = Vec::new();
+        let bounds = [0usize, n / 3, n / 2, n];
+        for w in bounds.windows(2) {
+            let mut chunk = VicinityChunk::new(w[0] as NodeId, true);
+            for _ in w[0]..w[1] {
+                chunk.push_node(&g, Some(2), Some(0), &mut scratch);
+            }
+            chunks.push(chunk);
+        }
+        let spliced = VicinityStore::from_chunks(TableBackend::HashMap, chunks);
+        assert_eq!(single, spliced);
+        for u in (0..n as NodeId).step_by(17) {
+            assert_eq!(single.get(u), spliced.get(u));
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = VicinityStore::empty(4, TableBackend::HashMap);
+        assert_eq!(store.node_count(), 4);
+        assert_eq!(store.total_entries(), 0);
+        let v = store.get(3).unwrap();
+        assert!(v.is_empty());
+        assert!(!v.contains(3));
+        assert!(store.get(4).is_none());
+        assert!(store.stores_paths(), "vacuously true with no members");
+    }
+
+    #[test]
+    fn raw_sections_round_trip_through_from_raw() {
         let g = classic::grid(4, 4);
-        let v = build(&g, 5, 2);
-        let (members, distances, preds, boundary, radius, nearest) = v.raw_parts();
-        let rebuilt = NodeVicinity::from_raw_parts(
-            5,
-            radius,
-            nearest,
+        let store = store_with_radius(&g, 2, 0, TableBackend::HashMap, true);
+        let (radii, nearest, offsets, members, distances, preds, b_offsets, boundary) =
+            store.raw_sections();
+        let rebuilt = VicinityStore::from_raw(
+            TableBackend::HashMap,
+            radii.to_vec(),
+            nearest.to_vec(),
+            offsets.to_vec(),
             members.to_vec(),
             distances.to_vec(),
             preds.to_vec(),
+            b_offsets.to_vec(),
             boundary.to_vec(),
-            TableBackend::HashMap,
         );
-        assert_eq!(v, rebuilt);
+        assert_eq!(store, rebuilt);
+    }
+
+    #[test]
+    fn shells_partition_members_by_distance() {
+        let g = SocialGraphConfig::small_test().generate(64);
+        let store = store_with_radius(&g, 3, 0, TableBackend::SortedArray, false);
+        for u in (0..g.node_count() as NodeId).step_by(13) {
+            let v = store.get(u).unwrap();
+            let mut from_shells: Vec<(NodeId, Distance)> = Vec::new();
+            for d in 0..=v.max_shell_distance() {
+                let shell = v.shell(d);
+                assert!(shell.windows(2).all(|w| w[0] < w[1]), "shell sorted");
+                from_shells.extend(shell.iter().map(|&m| (m, d)));
+            }
+            let mut expected: Vec<(NodeId, Distance)> = v.iter().collect();
+            from_shells.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(from_shells, expected, "node {u}");
+            assert!(v.shell(v.max_shell_distance() + 1).is_empty());
+        }
     }
 }

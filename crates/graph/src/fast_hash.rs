@@ -63,6 +63,15 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hash a single `u32` exactly as [`FxHasher`] does for one `write_u32`
+/// (a fresh hasher's state collapses to one multiply). Exported so flat
+/// probe tables elsewhere in the stack share the hasher's distribution by
+/// construction instead of duplicating the constant.
+#[inline]
+pub fn fx_hash_u32(value: u32) -> u64 {
+    (value as u64).wrapping_mul(SEED)
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -87,20 +87,71 @@ proptest! {
         }
     }
 
-    /// Oracle serialisation round-trips on arbitrary graphs and backends.
+    /// Snapshot format v2 round-trips on arbitrary graphs and backends,
+    /// with and without predecessor storage. The `arbitrary_graph` strategy
+    /// keeps the node count fixed while edges are random, so most cases
+    /// contain isolated and landmark-free nodes (empty and degenerate
+    /// vicinities) alongside regular ones. (Saturated u16 landmark rows
+    /// cannot arise at this scale; their round-trip is covered by a
+    /// dedicated unit test in `vicinity-core::serialize`.)
     #[test]
     fn oracle_serialization_round_trips(
         graph in arbitrary_graph(40, 100),
         seed in 0u64..1000,
         use_hash in any::<bool>(),
+        store_paths in any::<bool>(),
     ) {
         let backend = if use_hash { TableBackend::HashMap } else { TableBackend::SortedArray };
         let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
             .seed(seed)
             .backend(backend)
+            .store_paths(store_paths)
             .build(&graph);
         let decoded = serialize::decode(&serialize::encode(&oracle)).unwrap();
         prop_assert_eq!(oracle, decoded);
+    }
+
+    /// A v2-decoded oracle answers every pair identically to the original
+    /// (distances and paths), for any backend and path-storage setting.
+    #[test]
+    fn decoded_oracle_answers_all_pairs_identically(
+        graph in arbitrary_graph(30, 70),
+        seed in 0u64..1000,
+        use_hash in any::<bool>(),
+        store_paths in any::<bool>(),
+    ) {
+        let backend = if use_hash { TableBackend::HashMap } else { TableBackend::SortedArray };
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(seed)
+            .backend(backend)
+            .store_paths(store_paths)
+            .build(&graph);
+        let decoded = serialize::decode(&serialize::encode(&oracle)).unwrap();
+        let n = graph.node_count() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                prop_assert_eq!(oracle.distance(s, t), decoded.distance(s, t), "({}, {})", s, t);
+                prop_assert_eq!(oracle.path(s, t), decoded.path(s, t), "({}, {})", s, t);
+            }
+        }
+    }
+
+    /// Legacy v1 snapshots decode into exactly the same flat-store oracle
+    /// as the current v2 format.
+    #[test]
+    fn legacy_v1_snapshots_decode_identically(
+        graph in arbitrary_graph(40, 100),
+        seed in 0u64..1000,
+        store_paths in any::<bool>(),
+    ) {
+        let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+            .seed(seed)
+            .store_paths(store_paths)
+            .build(&graph);
+        let from_v1 = serialize::decode(&serialize::encode_v1(&oracle)).unwrap();
+        let from_v2 = serialize::decode(&serialize::encode(&oracle)).unwrap();
+        prop_assert_eq!(&oracle, &from_v1);
+        prop_assert_eq!(&from_v1, &from_v2);
     }
 
     /// Graph binary codec round-trips arbitrary graphs.
