@@ -1,0 +1,188 @@
+//! Machine-readable benchmark results: `BENCH_query.json`.
+//!
+//! Perf-tracking binaries (`query_batch`, `serving_throughput`) emit their
+//! measurements as named sections of one JSON object so the numbers can be
+//! diffed across PRs instead of living only in terminal scrollback. Each
+//! binary owns its section: [`write_bench_section`] replaces that section
+//! in place and leaves every other section byte-for-byte untouched, so the
+//! binaries can run in any order (or alone) without clobbering each other.
+//!
+//! The merge needs only a *top-level* reading of the file — `{ "name":
+//! <value>, ... }` with balanced-delimiter value extents — so no external
+//! JSON dependency is required (the container pulls no new crates).
+
+use std::io;
+use std::path::Path;
+
+/// Default results file, relative to the invocation directory (the repo
+/// root under `cargo run`). Overridable via `VICINITY_BENCH_JSON`.
+pub const DEFAULT_BENCH_JSON: &str = "BENCH_query.json";
+
+/// Resolve the results path from `VICINITY_BENCH_JSON`, defaulting to
+/// [`DEFAULT_BENCH_JSON`].
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::env::var("VICINITY_BENCH_JSON")
+        .unwrap_or_else(|_| DEFAULT_BENCH_JSON.to_string())
+        .into()
+}
+
+/// Insert or replace the top-level `section` of the JSON object stored at
+/// `path` with `payload` (a serialized JSON value), preserving every other
+/// section verbatim. A missing or unparsable file is treated as empty.
+pub fn write_bench_section(path: impl AsRef<Path>, section: &str, payload: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut sections = parse_top_level(&existing).unwrap_or_default();
+    match sections.iter_mut().find(|(name, _)| name == section) {
+        Some((_, value)) => *value = payload.to_string(),
+        None => sections.push((section.to_string(), payload.to_string())),
+    }
+
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": {value}"));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Split a JSON object into its top-level `(key, raw value)` pairs.
+/// Returns `None` on anything that does not scan as `{ "key": value, ... }`.
+fn parse_top_level(text: &str) -> Option<Vec<(String, String)>> {
+    let bytes = text.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut sections = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(&b'}') => return Some(sections),
+            Some(&b'"') => {}
+            _ => return None,
+        }
+        let (key, after_key) = scan_string(bytes, i)?;
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let value_end = scan_value(bytes, i)?;
+        sections.push((key, text[i..value_end].trim_end().to_string()));
+        i = skip_ws(bytes, value_end);
+        match bytes.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b'}') => return Some(sections),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        i += 1;
+    }
+    i
+}
+
+/// Scan the quoted string starting at `bytes[start] == b'"'`; returns the
+/// unescaped-as-written contents and the index just past the closing quote.
+fn scan_string(bytes: &[u8], start: usize) -> Option<(String, usize)> {
+    let mut i = start + 1;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'\\' => i += 2,
+            b'"' => {
+                let contents = std::str::from_utf8(&bytes[start + 1..i]).ok()?;
+                return Some((contents.to_string(), i + 1));
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Find the end (exclusive) of the JSON value starting at `start`,
+/// balancing braces/brackets and skipping string contents.
+fn scan_value(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = start;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'"' => {
+                let (_, next) = scan_string(bytes, i)?;
+                i = next;
+                continue;
+            }
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                if depth == 0 {
+                    // Scalar value terminated by the enclosing object.
+                    return Some(i);
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            b',' if depth == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    (depth == 0 && i > start).then_some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vicinity_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn creates_and_replaces_sections() {
+        let path = temp_file("a.json");
+        std::fs::remove_file(&path).ok();
+        write_bench_section(&path, "query_batch", r#"[{"alpha": 4}]"#).unwrap();
+        write_bench_section(&path, "serving_throughput", r#"{"qps": 1000}"#).unwrap();
+        write_bench_section(&path, "query_batch", r#"[{"alpha": 32}]"#).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""query_batch": [{"alpha": 32}]"#), "{text}");
+        assert!(text.contains(r#""serving_throughput": {"qps": 1000}"#));
+        assert!(!text.contains("alpha\": 4"));
+        // The result stays parseable by the same reader.
+        let sections = parse_top_level(&text).unwrap();
+        assert_eq!(sections.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unparsable_existing_content_is_discarded() {
+        let path = temp_file("b.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        write_bench_section(&path, "s", "1").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\n  \"s\": 1\n}\n"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn top_level_parser_handles_nesting_and_strings() {
+        let text = r#"{ "a": [1, {"x": "},{"}], "b": "notch: }", "c": 3.5 }"#;
+        let sections = parse_top_level(text).unwrap();
+        assert_eq!(sections[0].0, "a");
+        assert_eq!(sections[0].1, r#"[1, {"x": "},{"}]"#);
+        assert_eq!(sections[1].1, r#""notch: }""#);
+        assert_eq!(sections[2].1, "3.5");
+        assert!(parse_top_level("[1, 2]").is_none());
+    }
+}

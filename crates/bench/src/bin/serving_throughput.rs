@@ -9,9 +9,13 @@
 //!
 //! Honours `VICINITY_SCALE`, `VICINITY_DATASETS` and
 //! `VICINITY_SERVE_QUERIES` (default 100000 queries per configuration).
+//! Results are also written as the `serving_throughput` section of
+//! `BENCH_query.json` (see `vicinity_bench::bench_json`) so serving-layer
+//! throughput is tracked across PRs alongside the `query_batch` numbers.
 
 use rand::SeedableRng;
 
+use vicinity_bench::bench_json::{bench_json_path, write_bench_section};
 use vicinity_bench::{print_header, timed, ExperimentEnv};
 use vicinity_core::config::Alpha;
 use vicinity_core::OracleBuilder;
@@ -21,6 +25,7 @@ use vicinity_server::QueryService;
 fn main() {
     let env = ExperimentEnv::from_env();
     print_header("serving throughput (QueryService)", &env);
+    let mut json_rows: Vec<String> = Vec::new();
 
     let queries: usize = std::env::var("VICINITY_SERVE_QUERIES")
         .ok()
@@ -81,8 +86,48 @@ fn main() {
                     stats.fallback_rate() * 100.0,
                     stats.cache_hit_rate() * 100.0,
                 );
+                json_rows.push(format!(
+                    "{{\"graph\": \"{}\", \"nodes\": {}, \"alpha\": {}, \"threads\": {threads}, \
+                     \"cache\": {cache_capacity}, \"queries\": {}, \"qps\": {:.0}, \
+                     \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"fallback_pct\": {:.3}, \
+                     \"cache_hit_pct\": {:.3}}}",
+                    dataset.name,
+                    graph.node_count(),
+                    Alpha::PAPER_DEFAULT.value(),
+                    stats.queries,
+                    stats.throughput_qps(),
+                    stats.latency.percentile(50.0).as_secs_f64() * 1e6,
+                    stats.latency.percentile(99.0).as_secs_f64() * 1e6,
+                    stats.fallback_rate() * 100.0,
+                    stats.cache_hit_rate() * 100.0,
+                ));
             }
         }
         println!();
+    }
+
+    // Reduced scales (tiny/small) are quick-iteration modes; only
+    // full-scale runs may update the tracked perf numbers, so a toy run
+    // never clobbers the checked-in BENCH_query.json. A write failure
+    // (e.g. read-only checkout) is reported but does not fail the bench —
+    // the measurements above already printed.
+    if matches!(
+        env.scale,
+        vicinity_datasets::registry::Scale::Default | vicinity_datasets::registry::Scale::Large
+    ) {
+        let path = bench_json_path();
+        let payload = format!("[\n    {}\n  ]", json_rows.join(",\n    "));
+        match write_bench_section(&path, "serving_throughput", &payload) {
+            Ok(()) => println!("wrote serving_throughput section to {}", path.display()),
+            Err(e) => eprintln!(
+                "serving_throughput: could not write {} ({e}); skipping the JSON update",
+                path.display()
+            ),
+        }
+    } else {
+        println!(
+            "skipping BENCH_query.json update at scale '{}' (full-scale runs only)",
+            env.scale.name()
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! * index memory — the flat store's exact bytes (`memory.rs` accounting)
 //!   against the modeled cost of the retired one-`NodeVicinity`-per-node
 //!   layout;
-//! * snapshot encode/decode wall time for format v2 (flat sections) and
+//! * snapshot encode/decode wall time for the current sectioned format (v3) and
 //!   the legacy v1 per-node record path;
 //! * p50/p99 single-thread query latency over random pairs.
 //!
@@ -91,7 +91,7 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // Snapshot encode/decode: v2 flat sections vs v1 per-node records.
+    // Snapshot encode/decode: v3 flat sections vs v1 per-node records.
     // Every measured run happens on a warm heap (one unmeasured pass
     // first, results dropped), so the timings capture the codec paths
     // rather than first-touch page faults on hundreds of MB of fresh
@@ -158,17 +158,17 @@ fn main() {
     }
     drop((legacy_tables, legacy_vicinities));
 
-    print_format_row("v2 (flat sections)", v2_bytes.len(), v2_encode, v2_decode);
+    print_format_row("v3 (flat sections)", v2_bytes.len(), v2_encode, v2_decode);
     print_format_row("v1 (compat reader)", v1_bytes.len(), v1_encode, v1_decode);
     println!(
         "v1 (per-node objects)                   cold load {legacy_decode:>9.1?}  [retired layout, replicated in-bench]"
     );
     println!(
-        "cold-load speedup, per-node -> v2 flat     {:>9.1}x",
+        "cold-load speedup, per-node -> v3 flat     {:>9.1}x",
         legacy_decode.as_secs_f64() / v2_decode.as_secs_f64().max(1e-9)
     );
     println!(
-        "cold-load speedup, v1 compat -> v2 flat    {:>9.1}x",
+        "cold-load speedup, v1 compat -> v3 flat    {:>9.1}x",
         v1_decode.as_secs_f64() / v2_decode.as_secs_f64().max(1e-9)
     );
     println!(

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
+
 use std::time::{Duration, Instant};
 
 use vicinity_core::config::Alpha;

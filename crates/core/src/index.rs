@@ -101,6 +101,16 @@ impl LandmarkTable {
         self.distances.len() * std::mem::size_of::<u16>()
     }
 
+    /// Hint that the row entry for `v` will be read soon — stage 2 of the
+    /// batched query pipeline warms the exact `u16` the landmark-bound
+    /// pruning (or a landmark-endpoint answer) will load.
+    #[inline]
+    pub(crate) fn prefetch_entry(&self, v: NodeId) {
+        if let Some(entry) = self.distances.get(v as usize) {
+            crate::prefetch::prefetch_read(entry);
+        }
+    }
+
     /// Raw compact distances (for serialization).
     pub(crate) fn raw(&self) -> &[u16] {
         &self.distances

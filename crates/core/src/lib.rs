@@ -49,7 +49,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the software
+// prefetch intrinsic in `prefetch.rs` (an architectural no-op hint), which
+// carries its own `allow` and safety argument. Everything else in the
+// crate remains unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod ablation;
 pub mod ball;
@@ -61,6 +65,7 @@ pub mod index;
 pub mod landmarks;
 pub mod memory;
 pub mod parallel;
+pub mod prefetch;
 pub mod query;
 pub mod serialize;
 pub mod stats;

@@ -13,7 +13,9 @@
 //! shards a batch of queries over `std::thread` scoped threads and returns
 //! the answers in input order; misses can optionally be resolved with
 //! per-thread exact fallbacks (each fallback needs only O(n) scratch, not a
-//! copy of the index).
+//! copy of the index). Within each thread the index answers run through
+//! [`crate::VicinityOracle::distance_batch_accumulate`], so sharding and
+//! the software-prefetch pipeline compose.
 
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::{Distance, NodeId};
@@ -138,9 +140,15 @@ impl<'o, 'g> ParallelQueryEngine<'o, 'g> {
         let mut fallback = self.graph.map(ExactFallback::new);
         let mut answers = Vec::with_capacity(pairs.len());
         let mut stats = BatchStats::default();
-        for &(s, t) in pairs {
-            let (answer, query_stats) = self.oracle.distance_with_stats(s, t);
-            stats.total_lookups += query_stats.lookups;
+        // Index answers come from the staged batch engine (prefetch
+        // pipeline); per-pair resolution below only classifies them and
+        // runs the fallback for misses.
+        let mut query_stats = crate::query::QueryStats::default();
+        let mut index_answers = Vec::with_capacity(pairs.len());
+        self.oracle
+            .distance_batch_accumulate(pairs, &mut index_answers, &mut query_stats);
+        stats.total_lookups = query_stats.lookups;
+        for (&(s, t), &answer) in pairs.iter().zip(&index_answers) {
             let resolved = match answer {
                 DistanceAnswer::Exact { distance, .. } => {
                     stats.index_hits += 1;

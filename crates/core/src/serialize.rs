@@ -7,25 +7,37 @@
 //! byte-sum checksum so corrupt caches are rejected rather than silently
 //! producing wrong answers.
 //!
-//! ## Format v2 (current writer)
+//! ## Format v3 (current writer)
 //!
 //! Sectioned raw-array dumps of the flat [`VicinityStore`]: after the
 //! shared header (config, graph summary, landmark set, landmark rows) the
-//! vicinity index is exactly eight contiguous little-endian arrays —
-//! per-node radii and nearest landmarks, CSR offsets, and the member /
-//! distance / predecessor / boundary pools. Encode and decode move whole
-//! sections with bulk `put_slice` / `copy_to_slice` conversions instead of
-//! per-node loops, so load time is O(bytes); the derived shell indexes and
-//! membership hash slots are rebuilt at load, never stored.
+//! vicinity index is a store-flags byte followed by exactly eight
+//! contiguous little-endian arrays — per-node radii and nearest landmarks,
+//! CSR offsets, and the member / distance / predecessor / boundary pools.
+//! Bit 0 of the flags byte ([`STORE_FLAG_SORTED_MEMBERS`]) records the
+//! build-time invariant that member pools are sorted by node id within
+//! each span; snapshots carrying it load without re-validation, while
+//! snapshots without it (and both legacy formats) get their spans sorted
+//! on load, so queries can rely on the invariant unconditionally. Encode
+//! and decode move whole sections with bulk `put_slice` / `copy_to_slice`
+//! conversions instead of per-node loops, so load time is O(bytes); the
+//! derived shell indexes and membership hash slots are rebuilt at load,
+//! never stored.
+//!
+//! ## Format v2 (legacy, still readable)
+//!
+//! Identical sections to v3 but without the store-flags byte (it predates
+//! the recorded sorted-pool invariant). Decoded through the same bulk
+//! path with a sort-on-load pass establishing the invariant.
 //!
 //! ## Format v1 (legacy, still readable)
 //!
 //! One record per node (owner, radius, members, distances, predecessors,
 //! boundary), decoded element by element. [`decode`] accepts v1 snapshots
-//! and splices them into the flat store; [`encode_v1`] keeps the writer
-//! around so compatibility tests and the `store_layout` benchmark can
-//! measure the old path. Unknown versions are rejected with an error
-//! naming both supported formats.
+//! and splices them into the flat store (sorting spans on load);
+//! [`encode_v1`] keeps the writer around so compatibility tests and the
+//! `store_layout` benchmark can measure the old path. Unknown versions
+//! are rejected with an error naming every supported format.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -38,10 +50,20 @@ use crate::vicinity::VicinityStore;
 use crate::{OracleError, Result};
 
 const MAGIC: &[u8; 4] = b"VOR1";
-/// Current writer version (the flat-store section format).
-pub const FORMAT_VERSION: u8 = 2;
+/// Current writer version: flat-store sections with a store-flags byte.
+pub const FORMAT_VERSION: u8 = 3;
+/// Legacy flat-store section format without the flags byte, still
+/// accepted by [`decode`] (spans are sorted on load).
+pub const SECTIONED_FORMAT_VERSION: u8 = 2;
 /// Legacy per-node record format, still accepted by [`decode`].
 pub const LEGACY_FORMAT_VERSION: u8 = 1;
+
+/// Bit 0 of the v3 store-flags byte: member pools are sorted by node id
+/// within each node span (the build-time invariant the batched query
+/// engine's merge intersection and sorted-array probes rely on). Decoding
+/// a v3 snapshot without this bit — or any v1/v2 stream, which predate
+/// the flag — sorts the spans on load instead of trusting them.
+pub const STORE_FLAG_SORTED_MEMBERS: u8 = 1;
 
 // ---------------------------------------------------------------------------
 // Checksum. The trailing checksum is the plain sum of every body byte — the
@@ -342,9 +364,9 @@ fn decode_header(cur: &mut &[u8], bulk: bool) -> Result<DecodedHeader> {
 }
 
 // ---------------------------------------------------------------------------
-// Format v2: flat-store sections.
+// Formats v3/v2: flat-store sections (v3 adds the store-flags byte).
 
-/// Serialize an oracle to bytes (format v2, the flat-store sections).
+/// Serialize an oracle to bytes (format v3, the flat-store sections).
 pub fn encode(oracle: &VicinityOracle) -> Bytes {
     let (radii, nearest, offsets, members, distances, predecessors, boundary_offsets, boundary) =
         oracle.store.raw_sections();
@@ -358,6 +380,10 @@ pub fn encode(oracle: &VicinityOracle) -> Bytes {
     let mut buf = BytesMut::with_capacity(estimate);
     encode_header(&mut buf, oracle, FORMAT_VERSION);
 
+    // Store-flags byte: every builder sorts member spans by node id, so
+    // current snapshots always record the invariant and load without a
+    // validation pass.
+    buf.put_u8(STORE_FLAG_SORTED_MEMBERS);
     put_u32s(&mut buf, radii);
     put_u32s(&mut buf, nearest);
     put_u64s(&mut buf, offsets);
@@ -373,8 +399,15 @@ pub fn encode(oracle: &VicinityOracle) -> Bytes {
     buf.freeze()
 }
 
-fn decode_v2(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
+fn decode_sections(cur: &mut &[u8], header: DecodedHeader, version: u8) -> Result<VicinityOracle> {
     let n = header.node_count;
+    // v2 predates the store-flags byte; its spans are sorted on load.
+    let members_sorted = if version >= FORMAT_VERSION {
+        ensure(cur, 1)?;
+        cur.get_u8() & STORE_FLAG_SORTED_MEMBERS != 0
+    } else {
+        false
+    };
     let radii = get_u32s(cur, n)?;
     let nearest = get_u32s(cur, n)?;
     let offsets = get_u64s(cur, n + 1)?;
@@ -414,17 +447,47 @@ fn decode_v2(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
         }
     }
 
-    let store = VicinityStore::from_raw(
-        header.config.backend,
-        radii,
-        nearest,
-        offsets,
-        members,
-        distances,
-        predecessors,
-        boundary_offsets,
-        boundary,
-    );
+    // Snapshots recording the sorted-pool invariant skip the sort pass —
+    // but never the *check*: the trailing byte-sum checksum is
+    // order-invariant, so a transposed (or duplicated) member span can
+    // reach this point checksum-valid, and trusting the flag blindly
+    // would build a store whose merges and probes silently return wrong
+    // answers. The read-only validation scan is a vanishing fraction of
+    // decode cost. Anything unflagged (a pre-invariant writer) is sorted
+    // on load, so queries can rely on ordered spans unconditionally.
+    if members_sorted && !crate::vicinity::spans_sorted(&offsets, &members) {
+        return Err(OracleError::Decode(
+            "snapshot claims sorted member spans but a span is out of order or \
+             lists a member twice"
+                .into(),
+        ));
+    }
+    let store = if members_sorted {
+        VicinityStore::from_raw(
+            header.config.backend,
+            radii,
+            nearest,
+            offsets,
+            members,
+            distances,
+            predecessors,
+            boundary_offsets,
+            boundary,
+        )
+    } else {
+        VicinityStore::from_raw_unsorted(
+            header.config.backend,
+            radii,
+            nearest,
+            offsets,
+            members,
+            distances,
+            predecessors,
+            boundary_offsets,
+            boundary,
+        )
+        .map_err(OracleError::Decode)?
+    };
     Ok(VicinityOracle {
         config: header.config,
         node_count: header.node_count,
@@ -578,7 +641,10 @@ fn decode_v1(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
         )));
     }
 
-    let store = VicinityStore::from_raw(
+    // v1 predates the sorted-pool invariant's header flag: establish it
+    // here (a read-only pass when the writer already sorted, as every
+    // in-tree writer did).
+    let store = VicinityStore::from_raw_unsorted(
         header.config.backend,
         radii,
         nearest,
@@ -588,7 +654,8 @@ fn decode_v1(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
         predecessors,
         boundary_offsets,
         boundary,
-    );
+    )
+    .map_err(OracleError::Decode)?;
     Ok(VicinityOracle {
         config: header.config,
         node_count: header.node_count,
@@ -602,8 +669,8 @@ fn decode_v1(cur: &mut &[u8], header: DecodedHeader) -> Result<VicinityOracle> {
 // ---------------------------------------------------------------------------
 // Entry points.
 
-/// Deserialize an oracle from bytes produced by [`encode`] (format v2) or
-/// by the legacy v1 writer.
+/// Deserialize an oracle from bytes produced by [`encode`] (format v3) or
+/// by the legacy v2/v1 writers.
 pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
     if data.len() < MAGIC.len() + 1 + 8 {
         return Err(OracleError::Decode("input too short".into()));
@@ -629,31 +696,35 @@ pub fn decode(data: &[u8]) -> Result<VicinityOracle> {
         return Err(OracleError::Decode("bad magic number".into()));
     }
     let version = cur.get_u8();
-    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
+    if !matches!(
+        version,
+        LEGACY_FORMAT_VERSION | SECTIONED_FORMAT_VERSION | FORMAT_VERSION
+    ) {
         return Err(OracleError::Decode(format!(
             "unsupported snapshot format version {version}: this build reads \
-             v{LEGACY_FORMAT_VERSION} (legacy per-node records) and \
-             v{FORMAT_VERSION} (flat-store sections)"
+             v{LEGACY_FORMAT_VERSION} (legacy per-node records), \
+             v{SECTIONED_FORMAT_VERSION} (flat-store sections) and \
+             v{FORMAT_VERSION} (flat-store sections + store flags)"
         )));
     }
 
-    let bulk = version == FORMAT_VERSION;
+    let bulk = version >= SECTIONED_FORMAT_VERSION;
     let header = decode_header(&mut cur, bulk)?;
     if bulk {
-        decode_v2(&mut cur, header)
+        decode_sections(&mut cur, header, version)
     } else {
         decode_v1(&mut cur, header)
     }
 }
 
-/// Write an oracle to a file (format v2).
+/// Write an oracle to a file (format v3).
 pub fn save<P: AsRef<std::path::Path>>(oracle: &VicinityOracle, path: P) -> Result<()> {
     std::fs::write(path, encode(oracle))?;
     Ok(())
 }
 
-/// Read an oracle from a file written by [`save`] (or by the legacy v1
-/// writer).
+/// Read an oracle from a file written by [`save`] (or by the legacy
+/// v2/v1 writers).
 pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<VicinityOracle> {
     let data = std::fs::read(path)?;
     decode(&data)
@@ -794,6 +865,178 @@ mod tests {
         let err = decode(&buf).unwrap_err();
         assert!(matches!(err, OracleError::Decode(_)));
         assert!(err.to_string().contains("predecessor"), "{err}");
+    }
+
+    #[test]
+    fn v3_snapshots_record_the_sorted_invariant() {
+        let oracle = sample_oracle(137, true, TableBackend::HashMap);
+        let bytes = encode(&oracle);
+        assert_eq!(bytes[4], FORMAT_VERSION);
+        // Flipping the flag off must still decode to the same oracle —
+        // the reader then takes the sort-on-load path, which is a no-op
+        // on already-sorted spans.
+        let mut unflagged = bytes.to_vec();
+        let flag_pos = flags_byte_position(&bytes, &oracle);
+        assert_eq!(unflagged[flag_pos] & STORE_FLAG_SORTED_MEMBERS, 1);
+        unflagged[flag_pos] = 0;
+        fix_checksum(&mut unflagged);
+        assert_eq!(decode(&unflagged).unwrap(), oracle);
+    }
+
+    #[test]
+    fn flagged_snapshots_with_unsorted_spans_are_rejected() {
+        // The byte-sum checksum is order-invariant, so transposing two
+        // members inside a span survives it. The decoder must not trust
+        // the sorted flag blindly: the claimed-but-violated invariant has
+        // to surface as a decode error, never a silently wrong store.
+        let oracle = sample_oracle(139, true, TableBackend::HashMap);
+        let bytes = encode(&oracle);
+        let flag_pos = flags_byte_position(&bytes, &oracle);
+        let n = oracle.node_count();
+        // Section layout after the flags byte: radii (n u32), nearest
+        // (n u32), offsets (n+1 u64), then the member pool.
+        let members_pos = flag_pos + 1 + n * 4 + n * 4 + (n + 1) * 8;
+        let (_, _, offsets, members, ..) = oracle.store().raw_sections();
+        let span_start = (0..n)
+            .find(|&u| offsets[u + 1] - offsets[u] >= 2)
+            .map(|u| offsets[u] as usize)
+            .expect("some node has at least two members");
+        let a = members_pos + span_start * 4;
+        let mut corrupt = bytes.to_vec();
+        assert_eq!(
+            u32::from_le_bytes(corrupt[a..a + 4].try_into().unwrap()),
+            members[span_start],
+            "member-section offset arithmetic must line up"
+        );
+        for i in 0..4 {
+            corrupt.swap(a + i, a + 4 + i); // transpose two adjacent members
+        }
+        // Checksum unchanged by the transposition — no fix_checksum needed.
+        let err = decode(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("sorted member spans"), "{err}");
+    }
+
+    #[test]
+    fn legacy_v2_sectioned_snapshots_still_decode() {
+        // A v2 snapshot is byte-for-byte a v3 snapshot minus the
+        // store-flags byte (the layout this repo's previous writer
+        // produced). Reconstruct one from the current encoder's output
+        // and check it decodes to the identical oracle through the
+        // sort-on-load path.
+        let oracle = sample_oracle(138, true, TableBackend::HashMap);
+        let v3_bytes = encode(&oracle);
+        let flag_pos = flags_byte_position(&v3_bytes, &oracle);
+        let mut v2_bytes = v3_bytes.to_vec();
+        v2_bytes.remove(flag_pos); // drop the store-flags byte
+        v2_bytes[4] = SECTIONED_FORMAT_VERSION;
+        let body_len = v2_bytes.len() - 8;
+        v2_bytes.truncate(body_len); // stale checksum
+        let checksum = byte_sum(&v2_bytes);
+        v2_bytes.extend_from_slice(&checksum.to_le_bytes());
+        assert_eq!(decode(&v2_bytes).unwrap(), oracle);
+    }
+
+    /// Locate the v3 store-flags byte by re-encoding the shared header.
+    fn flags_byte_position(bytes: &[u8], oracle: &VicinityOracle) -> usize {
+        let mut header = BytesMut::new();
+        encode_header(&mut header, oracle, FORMAT_VERSION);
+        assert_eq!(&bytes[..header.len()], &header[..], "header mismatch");
+        header.len()
+    }
+
+    #[test]
+    fn unsorted_v1_streams_are_sorted_on_load() {
+        // A hand-written v1 snapshot whose single span lists members in
+        // descending order (legal for pre-invariant writers). Decode must
+        // establish the sorted invariant: correct answers and paths, with
+        // the boundary marking preserved through the permutation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"VOR1");
+        buf.put_u8(1); // version
+        buf.put_f64_le(4.0); // alpha
+        buf.put_u8(0); // sampling
+        buf.put_u8(0); // backend: hash map
+        buf.put_u64_le(0); // seed
+        buf.put_u8(1); // store_paths
+        buf.put_u64_le(4); // node count (path graph 0-1-2-3)
+        buf.put_u64_le(3); // edge count
+        buf.put_u64_le(0); // landmark count
+        buf.put_u64_le(0); // table count
+        buf.put_u64_le(4); // vicinity count
+                           // Node 0: vicinity {0,1,2} at radius 2, written in REVERSE id
+                           // order; member 2 (local index 0 pre-sort) is the boundary.
+        buf.put_u32_le(0); // owner
+        buf.put_u32_le(2); // radius
+        buf.put_u32_le(vicinity_graph::INVALID_NODE);
+        buf.put_u64_le(3);
+        for m in [2u32, 1, 0] {
+            buf.put_u32_le(m); // members, descending
+        }
+        for d in [2u32, 1, 0] {
+            buf.put_u32_le(d); // distances, parallel
+        }
+        buf.put_u8(1); // predecessors present
+        for p in [1u32, 0, vicinity_graph::INVALID_NODE] {
+            buf.put_u32_le(p);
+        }
+        buf.put_u64_le(1); // boundary count
+        buf.put_u32_le(0); // local index of member 2 in the UNSORTED span
+                           // Nodes 1..3: empty vicinities.
+        for owner in 1u32..4 {
+            buf.put_u32_le(owner);
+            buf.put_u32_le(0); // radius
+            buf.put_u32_le(vicinity_graph::INVALID_NODE);
+            buf.put_u64_le(0); // members
+            buf.put_u8(0); // no predecessors
+            buf.put_u64_le(0); // boundary
+        }
+        let checksum = byte_sum(&buf);
+        buf.put_u64_le(checksum);
+
+        let decoded = decode(&buf).unwrap();
+        let v = decoded.vicinity(0).unwrap();
+        assert_eq!(v.members(), &[0, 1, 2], "span must come out sorted");
+        assert_eq!(v.distance_to(2), Some(2));
+        assert_eq!(v.distance_to(0), Some(0));
+        assert_eq!(v.path_to(2), Some(vec![0, 1, 2]));
+        let boundary: Vec<_> = v.boundary_iter().collect();
+        assert_eq!(boundary, vec![(2, 2)], "boundary index must be remapped");
+    }
+
+    #[test]
+    fn duplicate_members_in_v1_streams_error_instead_of_panicking() {
+        // Checksum-valid but semantically invalid: node 0's span lists
+        // member 1 twice. The sort-on-load path must surface a decode
+        // error (never an assert/panic, never a corrupt store).
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"VOR1");
+        buf.put_u8(1); // version
+        buf.put_f64_le(4.0);
+        buf.put_u8(0); // sampling
+        buf.put_u8(0); // backend
+        buf.put_u64_le(0); // seed
+        buf.put_u8(0); // store_paths
+        buf.put_u64_le(1); // node count
+        buf.put_u64_le(1); // edge count
+        buf.put_u64_le(0); // landmark count
+        buf.put_u64_le(0); // table count
+        buf.put_u64_le(1); // vicinity count
+        buf.put_u32_le(0); // owner
+        buf.put_u32_le(1); // radius
+        buf.put_u32_le(vicinity_graph::INVALID_NODE);
+        buf.put_u64_le(2); // member count
+        buf.put_u32_le(1);
+        buf.put_u32_le(1); // duplicate member id
+        buf.put_u32_le(1);
+        buf.put_u32_le(1); // distances
+        buf.put_u8(0); // no predecessors
+        buf.put_u64_le(0); // boundary count
+        let checksum = byte_sum(&buf);
+        buf.put_u64_le(checksum);
+
+        let err = decode(&buf).unwrap_err();
+        assert!(matches!(err, OracleError::Decode(_)));
+        assert!(err.to_string().contains("member twice"), "{err}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::{Distance, NodeId, INVALID_NODE};
 
 use crate::config::TableBackend;
+use crate::prefetch::{prefetch_read, prefetch_slice};
 
 #[inline]
 fn hash_id(v: NodeId) -> usize {
@@ -229,7 +230,55 @@ impl VicinityStore {
         };
         store.build_shells();
         store.build_hash_slots();
+        debug_assert!(
+            spans_sorted(&store.offsets, &store.members),
+            "member pools must be sorted by node id within each span"
+        );
         store
+    }
+
+    /// Like [`VicinityStore::from_raw`], but without assuming the
+    /// sorted-span invariant: spans that arrive unsorted (legacy v1/v2
+    /// snapshots, or v3 snapshots whose header does not claim the
+    /// invariant) are sorted here, with distances and predecessors
+    /// permuted alongside and boundary indices remapped, before the
+    /// derived sections are built. Current builders always produce sorted
+    /// spans, so on modern snapshots this is a single read-only pass.
+    ///
+    /// Errors (with a decode-style message) when a span lists the same
+    /// member id twice — no ordering can make a duplicated member valid,
+    /// and building the store anyway would corrupt shells and probes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_unsorted(
+        backend: TableBackend,
+        radii: Vec<Distance>,
+        nearest: Vec<NodeId>,
+        offsets: Vec<u64>,
+        mut members: Vec<NodeId>,
+        mut distances: Vec<Distance>,
+        mut predecessors: Vec<NodeId>,
+        boundary_offsets: Vec<u64>,
+        mut boundary: Vec<u32>,
+    ) -> std::result::Result<Self, String> {
+        sort_member_spans(
+            &offsets,
+            &mut members,
+            &mut distances,
+            &mut predecessors,
+            &boundary_offsets,
+            &mut boundary,
+        )?;
+        Ok(Self::from_raw(
+            backend,
+            radii,
+            nearest,
+            offsets,
+            members,
+            distances,
+            predecessors,
+            boundary_offsets,
+            boundary,
+        ))
     }
 
     /// Group each node's members by distance (counting sort per span).
@@ -343,6 +392,18 @@ impl VicinityStore {
         self.hash_offsets = hash_offsets;
     }
 
+    /// Nearest landmark of `u` from its header row, or `None` when none is
+    /// reachable (or `u` is out of range). Header-row read used by the
+    /// batched pipeline to locate the landmark rows worth prefetching.
+    #[inline]
+    pub(crate) fn nearest_of(&self, u: NodeId) -> Option<NodeId> {
+        let i = u as usize;
+        if i >= self.node_count || self.nearest[i] == INVALID_NODE {
+            return None;
+        }
+        Some(self.nearest[i])
+    }
+
     /// Number of nodes covered by the store.
     pub fn node_count(&self) -> usize {
         self.node_count
@@ -409,6 +470,70 @@ impl VicinityStore {
     /// Iterator over every node's vicinity view, in node order.
     pub fn iter(&self) -> impl Iterator<Item = VicinityRef<'_>> + '_ {
         (0..self.node_count as NodeId).map(move |u| self.get(u).expect("in range"))
+    }
+
+    /// Stage-1 hint of the batched query pipeline: touch node `u`'s header
+    /// rows (radius, nearest landmark, and every per-node offset array) so
+    /// the stage-2 span computations read warm lines. Out-of-range ids are
+    /// ignored — hints must never fail.
+    #[inline]
+    pub(crate) fn prefetch_header(&self, u: NodeId) {
+        let i = u as usize;
+        if i >= self.node_count {
+            return;
+        }
+        prefetch_read(&self.radii[i]);
+        prefetch_read(&self.nearest[i]);
+        prefetch_read(&self.offsets[i]);
+        prefetch_read(&self.boundary_offsets[i]);
+        prefetch_read(&self.shell_index[i]);
+        prefetch_read(&self.hash_offsets[i]);
+    }
+
+    /// Stage-2 hint: with `u`'s header rows warm, hint the pool segments a
+    /// distance query over `(u, probe)` dereferences — the opening lines
+    /// of the member/distance/shell pools, the span's level offsets, and
+    /// the *exact* membership slot the `distance_to(probe)` shortcut will
+    /// hash to. `want_paths` additionally warms the predecessor and
+    /// boundary segments the path-splicing walk reads.
+    #[inline]
+    pub(crate) fn prefetch_query_spans(&self, u: NodeId, probe: NodeId, want_paths: bool) {
+        let i = u as usize;
+        if i >= self.node_count {
+            return;
+        }
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        if start == end {
+            return;
+        }
+        prefetch_slice(&self.members[start..end], 2);
+        prefetch_slice(&self.distances[start..end], 2);
+        prefetch_slice(&self.shell_data[start..end], 2);
+        let (s_start, s_end) = (
+            self.shell_index[i] as usize,
+            self.shell_index[i + 1] as usize,
+        );
+        prefetch_slice(&self.shell_offsets[s_start..s_end], 2);
+        let (h_start, h_end) = (
+            self.hash_offsets[i] as usize,
+            self.hash_offsets[i + 1] as usize,
+        );
+        if h_end > h_start {
+            // Power-of-two slot span: hint the line the membership probe
+            // for `probe` will land on first.
+            let mask = (h_end - h_start) - 1;
+            prefetch_read(&self.hash_slots[h_start + (hash_id(probe) & mask)]);
+        }
+        if want_paths {
+            if !self.predecessors.is_empty() {
+                prefetch_slice(&self.predecessors[start..end], 2);
+            }
+            let (b_start, b_end) = (
+                self.boundary_offsets[i] as usize,
+                self.boundary_offsets[i + 1] as usize,
+            );
+            prefetch_slice(&self.boundary[b_start..b_end], 2);
+        }
     }
 
     /// Raw primary sections, in snapshot order: `(radii, nearest, offsets,
@@ -494,6 +619,28 @@ impl VicinityStore {
         }
         total
     }
+}
+
+/// Size imbalance at which the adaptive shell-intersection kernel stops
+/// merging and instead probes the smaller shell's ids into the larger
+/// vicinity's membership slots. Galloping keeps the merge sub-linear in
+/// the large side, so probing only wins once the slices are clearly
+/// lopsided; 8× measures well on the bench graphs and errs toward the
+/// sequential (prefetchable) strategy.
+pub const PROBE_SIZE_RATIO: usize = 8;
+
+/// Work counters reported by [`VicinityRef::shell_intersect_adaptive`]:
+/// how often each strategy fired and how many per-element steps (merge
+/// iterations + hash probes) were spent. Folded into
+/// [`crate::query::QueryStats`] by the distance query.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IntersectCounters {
+    /// Merge iterations plus membership probes across all calls.
+    pub steps: u64,
+    /// Shell pairs intersected by the galloping sorted merge.
+    pub merge_calls: u64,
+    /// Shell pairs intersected by hash-probing the smaller side.
+    pub probe_calls: u64,
 }
 
 /// Borrowed view of one node's vicinity inside a [`VicinityStore`].
@@ -603,6 +750,64 @@ impl<'a> VicinityRef<'a> {
         self.boundary
             .iter()
             .map(move |&i| (members[i as usize], distances[i as usize]))
+    }
+
+    /// Adaptive intersection of this vicinity's shell at `d_self` with
+    /// `other`'s shell at `d_other`: non-empty intersection iff the query
+    /// distance `d_self + d_other` is achieved through these levels.
+    ///
+    /// Two strategies, chosen by size ratio:
+    ///
+    /// * **merge** — the galloping sorted-merge of [`sorted_ids_intersect`]
+    ///   over the two id-sorted shell slices. Linear, forward-only,
+    ///   prefetch-friendly; the default.
+    /// * **probe** — when one shell is at least [`PROBE_SIZE_RATIO`]×
+    ///   smaller *and* the larger side carries flat membership slots, hash
+    ///   each id of the small shell into the larger vicinity's slots and
+    ///   compare the stored distance against its level. Constant work per
+    ///   id regardless of how large the other shell is, which beats even a
+    ///   galloping merge once the slices are sufficiently lopsided.
+    ///
+    /// Both strategies are exact over sorted pools (the build-time
+    /// invariant snapshot v3 headers record); `counters` reports per-strategy
+    /// dispatch counts and total per-element steps so callers can fold the
+    /// work into [`crate::query::QueryStats`].
+    pub fn shell_intersect_adaptive(
+        &self,
+        d_self: Distance,
+        other: &VicinityRef<'_>,
+        d_other: Distance,
+        counters: &mut IntersectCounters,
+    ) -> bool {
+        let a = self.shell(d_self);
+        let b = other.shell(d_other);
+        if a.is_empty() || b.is_empty() {
+            return false;
+        }
+        // Probe the smaller shell into the larger side's hash slots when
+        // the imbalance pays for the random accesses.
+        if b.len() >= PROBE_SIZE_RATIO * a.len() && !other.hash_slots.is_empty() {
+            counters.probe_calls += 1;
+            for &id in a {
+                counters.steps += 1;
+                if other.distance_to(id) == Some(d_other) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        if a.len() >= PROBE_SIZE_RATIO * b.len() && !self.hash_slots.is_empty() {
+            counters.probe_calls += 1;
+            for &id in b {
+                counters.steps += 1;
+                if self.distance_to(id) == Some(d_self) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        counters.merge_calls += 1;
+        sorted_ids_intersect(a, b, &mut counters.steps)
     }
 
     /// Minimum of `d(scan_owner, w) + d(probe_owner, w)` over all witnesses
@@ -978,6 +1183,86 @@ fn hash_slots_for_range(
     }
 }
 
+/// True when every node span of `members` is strictly ascending — the
+/// sorted-pool invariant every builder upholds and snapshot v3 headers
+/// record (see `crate::serialize`; v1/v2 streams predate the flag and are
+/// sorted on load). Queries rely on it for the merge intersection and the
+/// sorted-array membership probes.
+pub(crate) fn spans_sorted(offsets: &[u64], members: &[NodeId]) -> bool {
+    offsets.windows(2).all(|w| {
+        members[w[0] as usize..w[1] as usize]
+            .windows(2)
+            .all(|m| m[0] < m[1])
+    })
+}
+
+/// Establish the sorted-span invariant in place: any span whose members
+/// are not strictly ascending is sorted, with `distances` (and
+/// `predecessors`, when stored) permuted alongside and that node's
+/// span-local `boundary` indices remapped through the permutation.
+/// A no-op pass on every snapshot a current builder wrote. Errors when a
+/// span contains the same member id twice — that is invalid data, not an
+/// ordering problem.
+pub(crate) fn sort_member_spans(
+    offsets: &[u64],
+    members: &mut [NodeId],
+    distances: &mut [Distance],
+    predecessors: &mut [NodeId],
+    boundary_offsets: &[u64],
+    boundary: &mut [u32],
+) -> std::result::Result<(), String> {
+    let n = offsets.len() - 1;
+    let mut perm: Vec<u32> = Vec::new();
+    let mut inverse: Vec<u32> = Vec::new();
+    for u in 0..n {
+        let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+        let span = &members[start..end];
+        if span.windows(2).all(|m| m[0] < m[1]) {
+            continue;
+        }
+        let len = end - start;
+        perm.clear();
+        perm.extend(0..len as u32);
+        perm.sort_unstable_by_key(|&i| span[i as usize]);
+        if perm
+            .windows(2)
+            .any(|w| span[w[0] as usize] == span[w[1] as usize])
+        {
+            return Err(format!("vicinity span of node {u} lists a member twice"));
+        }
+        inverse.clear();
+        inverse.resize(len, 0);
+        for (new_pos, &old_pos) in perm.iter().enumerate() {
+            inverse[old_pos as usize] = new_pos as u32;
+        }
+        apply_permutation(&perm, &mut members[start..end]);
+        apply_permutation(&perm, &mut distances[start..end]);
+        if !predecessors.is_empty() {
+            apply_permutation(&perm, &mut predecessors[start..end]);
+        }
+        let (b_start, b_end) = (
+            boundary_offsets[u] as usize,
+            boundary_offsets[u + 1] as usize,
+        );
+        for idx in &mut boundary[b_start..b_end] {
+            *idx = inverse[*idx as usize];
+        }
+        // Boundary entries stay sorted by member id (== by new local
+        // index), matching what `VicinityChunk::push_node` emits.
+        boundary[b_start..b_end].sort_unstable();
+    }
+    Ok(())
+}
+
+/// Reorder `data` so `data[j] = old_data[perm[j]]`, via a scratch copy
+/// (spans are small; clarity over cleverness).
+fn apply_permutation<T: Copy>(perm: &[u32], data: &mut [T]) {
+    let snapshot: Vec<T> = data.to_vec();
+    for (slot, &src) in data.iter_mut().zip(perm) {
+        *slot = snapshot[src as usize];
+    }
+}
+
 /// Whether two ascending id slices share an element. Scans the smaller
 /// slice and gallops through the larger one; both access patterns are
 /// forward-only, so the loop stays prefetch-friendly. `steps` counts loop
@@ -1081,6 +1366,127 @@ mod tests {
             intersections > 0,
             "test graph must produce some intersections"
         );
+    }
+
+    #[test]
+    fn adaptive_shell_intersection_matches_naive() {
+        // Every shell pair, both backends: the adaptive kernel must agree
+        // with a naive set intersection, and under the hash backend the
+        // lopsided pairs must exercise the probe strategy.
+        let g = SocialGraphConfig::small_test().generate(66);
+        let mut totals = IntersectCounters::default();
+        for backend in [TableBackend::HashMap, TableBackend::SortedArray] {
+            let store = store_with_radius(&g, 3, 0, backend, false);
+            let mut counters = IntersectCounters::default();
+            for ua in (0..g.node_count() as NodeId).step_by(29) {
+                for ub in (0..g.node_count() as NodeId).step_by(31) {
+                    let a = store.get(ua).unwrap();
+                    let b = store.get(ub).unwrap();
+                    for da in 0..=a.max_shell_distance() {
+                        for db in 0..=b.max_shell_distance() {
+                            let naive = a.shell(da).iter().any(|m| b.shell(db).contains(m));
+                            assert_eq!(
+                                a.shell_intersect_adaptive(da, &b, db, &mut counters),
+                                naive,
+                                "pair ({ua},{ub}) shells ({da},{db})"
+                            );
+                        }
+                    }
+                }
+            }
+            assert!(counters.merge_calls > 0, "merge strategy must fire");
+            if matches!(backend, TableBackend::SortedArray) {
+                assert_eq!(
+                    counters.probe_calls, 0,
+                    "probe strategy needs membership slots"
+                );
+            }
+            totals.merge_calls += counters.merge_calls;
+            totals.probe_calls += counters.probe_calls;
+            totals.steps += counters.steps;
+        }
+        assert!(
+            totals.probe_calls > 0,
+            "hash backend must dispatch some lopsided pairs to the probe strategy"
+        );
+        assert!(totals.steps > 0);
+    }
+
+    #[test]
+    fn sort_member_spans_restores_the_invariant() {
+        // Scramble every span of a correctly built store, then rebuild via
+        // the sort-on-load path: the result must equal the original store
+        // exactly (members, distances, predecessors, boundary marking).
+        let g = SocialGraphConfig::small_test().generate(67);
+        let store = store_with_radius(&g, 2, 0, TableBackend::HashMap, true);
+        let (radii, nearest, offsets, members, distances, preds, b_offsets, boundary) =
+            store.raw_sections();
+        let (mut members, mut distances, mut preds, mut boundary) = (
+            members.to_vec(),
+            distances.to_vec(),
+            preds.to_vec(),
+            boundary.to_vec(),
+        );
+        // Reverse each span (worst case for sortedness); boundary indices
+        // must be remapped through the same reversal to stay meaningful.
+        for w in offsets.windows(2) {
+            let (start, end) = (w[0] as usize, w[1] as usize);
+            members[start..end].reverse();
+            distances[start..end].reverse();
+            preds[start..end].reverse();
+        }
+        for u in 0..store.node_count() {
+            let len = (offsets[u + 1] - offsets[u]) as u32;
+            let (b_start, b_end) = (b_offsets[u] as usize, b_offsets[u + 1] as usize);
+            for idx in &mut boundary[b_start..b_end] {
+                *idx = len - 1 - *idx;
+            }
+        }
+        assert!(!spans_sorted(offsets, &members));
+        let resorted = VicinityStore::from_raw_unsorted(
+            TableBackend::HashMap,
+            radii.to_vec(),
+            nearest.to_vec(),
+            offsets.to_vec(),
+            members,
+            distances,
+            preds,
+            b_offsets.to_vec(),
+            boundary,
+        )
+        .expect("reversed spans contain no duplicates");
+        assert_eq!(store, resorted);
+    }
+
+    #[test]
+    fn duplicate_members_in_a_span_are_rejected_not_built() {
+        // A span listing the same member twice is invalid data no ordering
+        // can fix; the sort-on-load path must refuse it (the decode layer
+        // surfaces this as an error instead of building a corrupt store).
+        let err = VicinityStore::from_raw_unsorted(
+            TableBackend::HashMap,
+            vec![1, 0],
+            vec![INVALID_NODE; 2],
+            vec![0, 3, 3],
+            vec![2, 1, 2], // member 2 twice in node 0's span
+            vec![1, 1, 1],
+            Vec::new(),
+            vec![0, 0, 0],
+            Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("member twice"), "{err}");
+        assert!(err.contains("node 0"), "{err}");
+    }
+
+    #[test]
+    fn spans_sorted_detects_order() {
+        let offsets = [0u64, 3, 3, 5];
+        assert!(spans_sorted(&offsets, &[1, 2, 9, 4, 5]));
+        assert!(!spans_sorted(&offsets, &[1, 2, 2, 4, 5]), "duplicate id");
+        assert!(!spans_sorted(&offsets, &[1, 9, 2, 4, 5]));
+        // Order across span boundaries is irrelevant.
+        assert!(spans_sorted(&offsets, &[7, 8, 9, 0, 1]));
     }
 
     #[test]

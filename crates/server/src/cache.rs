@@ -9,13 +9,29 @@
 //! later still resolves them.
 //!
 //! The cache is split into independently locked shards to keep worker
-//! threads from serialising on one mutex; each shard is a classic
+//! threads from serialising on one lock; each shard is a classic
 //! doubly-linked-list LRU over a slab, so hits and insertions are O(1) and
 //! the capacity bound is exact.
+//!
+//! ## Contention
+//!
+//! Shards are guarded by `RwLock`, not `Mutex`, because serving traffic is
+//! read-mostly: a skewed social workload concentrates on a few hot pairs,
+//! and once a hot entry reaches the front of its shard's LRU list a hit
+//! needs *no* recency update at all. [`QueryCache::get`] therefore probes
+//! under a shared read lock and returns immediately when the entry is
+//! already the MRU; only hits on colder entries (and all insertions) take
+//! the exclusive write lock to splice the recency list. The result is
+//! that concurrent workers hammering the same hot keys proceed in
+//! parallel instead of serialising on the shard lock — the write lock is
+//! reserved for traffic that actually mutates the shard. If profiling
+//! ever shows write-lock pressure from mid-list hits, the next lever is
+//! probabilistic recency updates (refresh on every k-th hit), not more
+//! shards.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use vicinity_graph::{Distance, NodeId};
 
@@ -116,6 +132,14 @@ impl Shard {
         self.head = idx;
     }
 
+    /// Non-mutating probe: the value, plus whether the entry is already
+    /// the MRU (in which case a hit needs no recency update and the read
+    /// lock suffices).
+    fn peek(&self, key: u64) -> Option<(u32, bool)> {
+        let idx = *self.map.get(&key)?;
+        Some((self.nodes[idx as usize].value, self.head == idx))
+    }
+
     fn get(&mut self, key: u64) -> Option<u32> {
         let idx = *self.map.get(&key)?;
         if self.head != idx {
@@ -168,7 +192,7 @@ impl Shard {
 
 /// Sharded bounded LRU over normalised query pairs.
 pub struct QueryCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<RwLock<Shard>>,
     /// Bit mask selecting a shard from a key hash (shard count is a power
     /// of two).
     shard_mask: u64,
@@ -184,7 +208,7 @@ impl QueryCache {
         let per_shard = capacity.div_ceil(shard_count).max(1);
         QueryCache {
             shards: (0..shard_count)
-                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .map(|_| RwLock::new(Shard::new(per_shard)))
                 .collect(),
             shard_mask: (shard_count - 1) as u64,
             hits: AtomicU64::new(0),
@@ -201,20 +225,31 @@ impl QueryCache {
     }
 
     #[inline]
-    fn shard_of(&self, key: u64) -> &Mutex<Shard> {
+    fn shard_of(&self, key: u64) -> &RwLock<Shard> {
         // Fibonacci hash so nearby node ids spread over shards.
         let h = key.wrapping_mul(0x9E3779B97F4A7C15) >> 32;
         &self.shards[(h & self.shard_mask) as usize]
     }
 
     /// Look up the answer for `(s, t)`, refreshing its recency on a hit.
+    ///
+    /// Fast path: a shared read lock suffices for misses and for hits on
+    /// the shard's MRU entry (the common case under skewed traffic). Only
+    /// a hit on a colder entry upgrades to the write lock to splice the
+    /// recency list — see the module-level contention note.
     pub fn get(&self, s: NodeId, t: NodeId) -> Option<CachedAnswer> {
         let key = Self::key(s, t);
-        let found = self
-            .shard_of(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key);
+        let shard = self.shard_of(key);
+        let peeked = shard.read().expect("cache shard poisoned").peek(key);
+        let found = match peeked {
+            Some((raw, true)) => Some(raw),
+            Some((_, false)) => {
+                // Re-probe under the write lock: the entry may have moved
+                // or been evicted between the two acquisitions.
+                shard.write().expect("cache shard poisoned").get(key)
+            }
+            None => None,
+        };
         match found {
             Some(raw) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -232,7 +267,7 @@ impl QueryCache {
     pub fn insert(&self, s: NodeId, t: NodeId, answer: CachedAnswer) {
         let key = Self::key(s, t);
         self.shard_of(key)
-            .lock()
+            .write()
             .expect("cache shard poisoned")
             .insert(key, answer.encode());
     }
@@ -241,7 +276,7 @@ impl QueryCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
     }
 

@@ -5,11 +5,12 @@ use std::time::Instant;
 
 use vicinity_core::index::VicinityOracle;
 use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::NodeId;
 
 use crate::cache::QueryCache;
 use crate::session::{ServedAnswer, SharedState, WorkerSession};
-use crate::stats::ServerStats;
+use crate::stats::{ServedMethod, ServerStats};
 
 /// Errors raised when assembling a [`QueryService`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,6 +216,12 @@ impl QueryService {
 
     /// Answer a batch of queries, sharded over the configured number of
     /// worker threads. Answers are returned in input order.
+    ///
+    /// Each worker's shard runs through [`WorkerSession::serve_into`], so
+    /// the whole path is batched end to end: cache peel-off, intra-shard
+    /// duplicate collapsing, the oracle's software-prefetch pipeline, and
+    /// fallback only for true misses. Latency samples recorded by batch
+    /// serving are batch-amortised (see `crate::session`).
     pub fn serve_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<ServedAnswer> {
         let wall_start = Instant::now();
         let answers = self.serve_batch_inner(pairs);
@@ -228,6 +235,66 @@ impl QueryService {
         if pairs.is_empty() {
             return Vec::new();
         }
+        // When a result cache is configured, deduplicate the batch before
+        // sharding: every repeated (normalised) pair resolves once, and
+        // the duplicates are filled in afterwards as cache-served — which
+        // they are, the write-back having completed before the fill. This
+        // makes "repeats hit the cache" a *deterministic* property of a
+        // batch instead of a cross-worker timing race, and stops two
+        // workers from redundantly resolving the same pair.
+        if self.shared.cache.is_some() {
+            let mut seen: FastMap<u64, u32> =
+                FastMap::with_capacity_and_hasher(pairs.len(), Default::default());
+            let mut unique: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.len());
+            let mut slots: Vec<u32> = Vec::with_capacity(pairs.len());
+            for &(s, t) in pairs {
+                let slot = *seen.entry(QueryCache::key(s, t)).or_insert_with(|| {
+                    unique.push((s, t));
+                    (unique.len() - 1) as u32
+                });
+                slots.push(slot);
+            }
+            if unique.len() < pairs.len() {
+                let unique_answers = self.serve_shards(&unique);
+                let mut answers = Vec::with_capacity(pairs.len());
+                let mut first_seen = vec![false; unique.len()];
+                let mut duplicate_methods: Vec<ServedMethod> = Vec::new();
+                for &slot in &slots {
+                    let resolved = unique_answers[slot as usize];
+                    if !std::mem::replace(&mut first_seen[slot as usize], true) {
+                        answers.push(resolved);
+                        continue;
+                    }
+                    let answer = match resolved {
+                        ServedAnswer::Exact { distance, .. } => ServedAnswer::Exact {
+                            distance,
+                            method: ServedMethod::Cache,
+                        },
+                        other => other,
+                    };
+                    duplicate_methods.push(match answer {
+                        ServedAnswer::Exact { method, .. } => method,
+                        ServedAnswer::Unreachable => ServedMethod::Unreachable,
+                        ServedAnswer::Miss => ServedMethod::Miss,
+                    });
+                    answers.push(answer);
+                }
+                // Account the duplicates (their uniques were recorded by
+                // the worker sessions); no latency sample — they cost
+                // only the fill-in.
+                if let Ok(mut aggregate) = self.shared.aggregate.lock() {
+                    for method in duplicate_methods {
+                        aggregate.record(method, None);
+                    }
+                }
+                return answers;
+            }
+        }
+        self.serve_shards(pairs)
+    }
+
+    /// Shard `pairs` over worker sessions (no dedup — callers handle it).
+    fn serve_shards(&self, pairs: &[(NodeId, NodeId)]) -> Vec<ServedAnswer> {
         let threads = self.effective_threads(pairs.len());
         if threads == 1 {
             let mut session = self.session();
@@ -362,6 +429,24 @@ mod tests {
         assert_eq!(stats.cache_hits, 2);
         assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
         assert!(service.cached_answers() >= 2);
+    }
+
+    #[test]
+    fn cacheless_batches_do_not_fake_cache_hits() {
+        // Without a result cache there is nothing to serve repeats from:
+        // every occurrence must resolve through the index (exactly like a
+        // serve_one loop) and no answer may claim cache provenance.
+        let service = small_service(28, 0, 1);
+        let pairs: Vec<(NodeId, NodeId)> = vec![(1, 900), (2, 800), (900, 1), (1, 900)];
+        let answers = service.serve_batch(&pairs);
+        assert_eq!(answers[0].distance(), answers[2].distance());
+        assert_eq!(answers[0].distance(), answers[3].distance());
+        assert!(answers
+            .iter()
+            .all(|a| a.method() != Some(ServedMethod::Cache)));
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.queries, 4);
     }
 
     #[test]

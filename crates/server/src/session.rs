@@ -2,11 +2,22 @@
 //!
 //! A [`WorkerSession`] is the unit of serving concurrency. Each session
 //! shares the immutable oracle and graph through `Arc`s and owns everything
-//! mutable it needs — the fallback search scratch, and its private
-//! statistics — so the query hot path takes no locks and performs no
-//! allocation, no matter how many sessions run in parallel. The only shared
-//! mutable structure is the (optional) result cache, which is internally
-//! sharded.
+//! mutable it needs — the fallback search scratch, the batched-pipeline
+//! staging buffers, and its private statistics — so the query hot path
+//! takes no locks and performs no steady-state allocation, no matter how
+//! many sessions run in parallel. The only shared mutable structure is the
+//! (optional) result cache, which is internally sharded.
+//!
+//! Batches go through [`WorkerSession::serve_into`], which stages the
+//! work instead of looping over [`WorkerSession::serve_one`]: bad requests
+//! and cache hits are peeled off first, duplicate pairs inside the batch
+//! collapse onto one resolution, the remaining pairs run through the
+//! oracle's software-prefetch batch engine
+//! (`VicinityOracle::distance_batch_accumulate`), and only index misses
+//! fall back to the per-session bidirectional BFS. Latency recorded by
+//! `serve_into` is therefore **batch-amortised** (the batch's wall time
+//! divided over its queries) rather than per-query — the honest number
+//! for a batched engine, and the one `serving_throughput` reports.
 //!
 //! Sessions return their scratch buffers to the service's pool and merge
 //! their statistics into the service aggregate when dropped, so repeated
@@ -19,10 +30,18 @@ use vicinity_baselines::bidirectional_bfs::BidirBfsScratch;
 use vicinity_core::index::VicinityOracle;
 use vicinity_core::query::DistanceAnswer;
 use vicinity_graph::csr::CsrGraph;
+use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::{Distance, NodeId};
 
 use crate::cache::{CachedAnswer, QueryCache};
 use crate::stats::{ServedMethod, ServerStats};
+
+/// Queries per staged block of [`WorkerSession::serve_into`]. Large enough
+/// to amortise the pipeline's staging sweeps and keep plenty of
+/// independent misses in flight, small enough that cache write-backs from
+/// one block are visible to the next (and to concurrently serving
+/// sessions) at fine granularity.
+const SERVE_BLOCK: usize = 64;
 
 /// Result of one served query.
 ///
@@ -90,12 +109,41 @@ pub(crate) struct SharedState {
     pub(crate) scratch_pool: Arc<Mutex<Vec<BidirBfsScratch>>>,
 }
 
+/// Reusable staging buffers for the batched serving pipeline. Owned by the
+/// session so repeated `serve_into` calls allocate nothing once the
+/// high-water mark is reached.
+#[derive(Default)]
+struct BatchScratch {
+    /// Input positions of the pairs forwarded to the batch engine.
+    pending_pos: Vec<u32>,
+    /// The forwarded pairs themselves, parallel to `pending_pos`.
+    pending_pairs: Vec<(NodeId, NodeId)>,
+    /// `(input position, pending index)` of intra-batch duplicates: pairs
+    /// whose normalised key already appeared earlier in the same batch.
+    duplicates: Vec<(u32, u32)>,
+    /// Normalised key → pending index, for duplicate collapsing.
+    seen: FastMap<u64, u32>,
+    /// Batch-engine answers, parallel to `pending_pairs`.
+    index_answers: Vec<DistanceAnswer>,
+}
+
+impl BatchScratch {
+    fn clear(&mut self) {
+        self.pending_pos.clear();
+        self.pending_pairs.clear();
+        self.duplicates.clear();
+        self.seen.clear();
+        self.index_answers.clear();
+    }
+}
+
 /// A worker's private serving state. Create one per thread with
 /// [`crate::QueryService::session`]; it is `Send`, so it can be moved into
 /// a worker thread and used for any number of queries.
 pub struct WorkerSession {
     shared: SharedState,
     scratch: BidirBfsScratch,
+    batch: BatchScratch,
     stats: ServerStats,
 }
 
@@ -110,6 +158,7 @@ impl WorkerSession {
         WorkerSession {
             shared,
             scratch,
+            batch: BatchScratch::default(),
             stats: ServerStats::default(),
         }
     }
@@ -157,11 +206,24 @@ impl WorkerSession {
             }
         }
 
-        match self
+        let answer = self
             .shared
             .oracle
-            .distance_accumulate(s, t, &mut self.stats.index_work)
-        {
+            .distance_accumulate(s, t, &mut self.stats.index_work);
+        self.resolve_index_answer(s, t, answer)
+    }
+
+    /// Turn a raw index answer into a served answer: write definitive
+    /// results back to the cache and resolve misses with the fallback
+    /// search (when configured). Shared by the scalar path and the batched
+    /// pipeline so their serving semantics cannot drift apart.
+    fn resolve_index_answer(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        answer: DistanceAnswer,
+    ) -> ServedAnswer {
+        match answer {
             DistanceAnswer::Exact { distance, method } => {
                 self.cache_store(s, t, CachedAnswer::Exact(distance));
                 ServedAnswer::Exact {
@@ -220,14 +282,134 @@ impl WorkerSession {
     /// Serve a slice of queries, appending the answers to `out` in input
     /// order. Used by `serve_batch` workers; callers driving their own
     /// threads can equally loop over [`WorkerSession::serve_one`].
+    ///
+    /// This is the batched fast path: cache hits and bad requests are
+    /// peeled off up front, duplicate pairs within the batch collapse onto
+    /// a single resolution when a result cache is configured (reported as
+    /// cache-served — by the time they are answered, the answer *is* in
+    /// the cache; without a cache every occurrence resolves through the
+    /// index, as a serve_one loop would), and everything else runs
+    /// through the oracle's staged software-prefetch engine before misses
+    /// reach the fallback search. Answers and caching semantics are
+    /// identical to a [`WorkerSession::serve_one`] loop; recorded latency
+    /// is batch-amortised (batch wall time over batch size).
+    ///
+    /// `out` keeps its capacity across calls: feeding same-sized batches
+    /// through one session reallocates neither the output vector (when the
+    /// caller clears it between batches) nor the internal staging buffers.
     pub fn serve_into(&mut self, pairs: &[(NodeId, NodeId)], out: &mut Vec<ServedAnswer>) {
-        out.reserve(pairs.len());
-        let busy_start = Instant::now();
-        for &(s, t) in pairs {
-            let answer = self.serve_one(s, t);
-            out.push(answer);
+        if pairs.is_empty() {
+            return;
         }
-        self.stats.busy_time += busy_start.elapsed();
+        out.reserve(pairs.len());
+        // Blocks, not one monolithic sweep: a block's cache probes run
+        // after every earlier block has resolved and written back, so a
+        // repeat later in the batch (or served concurrently by another
+        // session) still finds the cache populated — the same behaviour a
+        // serve_one loop has, at block granularity. Blocks also bound the
+        // staging buffers and keep `out` writes cache-resident.
+        for block_pairs in pairs.chunks(SERVE_BLOCK) {
+            self.serve_block(block_pairs, out);
+        }
+    }
+
+    /// One staged block of [`WorkerSession::serve_into`].
+    fn serve_block(&mut self, pairs: &[(NodeId, NodeId)], out: &mut Vec<ServedAnswer>) {
+        let base = out.len();
+        let busy_start = Instant::now();
+
+        // Stage 1: peel off bad requests and cache hits; collapse
+        // intra-block duplicates (only when a cache is configured — a
+        // serve_one loop would serve the repeat from the write-back, so
+        // dedup-as-cache-hit is cache semantics; without a cache every
+        // occurrence resolves through the index, exactly like serve_one);
+        // placeholder-fill `out` so later stages can write answers by
+        // input position.
+        let dedup = self.shared.cache.is_some();
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            if !self.shared.oracle.contains_node(s) || !self.shared.oracle.contains_node(t) {
+                out.push(ServedAnswer::Miss);
+                continue;
+            }
+            if let Some(cache) = &self.shared.cache {
+                match cache.get(s, t) {
+                    Some(CachedAnswer::Exact(d)) => {
+                        out.push(ServedAnswer::Exact {
+                            distance: d,
+                            method: ServedMethod::Cache,
+                        });
+                        continue;
+                    }
+                    Some(CachedAnswer::Unreachable) => {
+                        out.push(ServedAnswer::Unreachable);
+                        continue;
+                    }
+                    None => {}
+                }
+            }
+            if dedup {
+                let key = QueryCache::key(s, t);
+                if let Some(&first) = batch.seen.get(&key) {
+                    batch.duplicates.push((i as u32, first));
+                    out.push(ServedAnswer::Miss); // placeholder, overwritten below
+                    continue;
+                }
+                batch.seen.insert(key, batch.pending_pos.len() as u32);
+            }
+            batch.pending_pos.push(i as u32);
+            batch.pending_pairs.push((s, t));
+            out.push(ServedAnswer::Miss); // placeholder, overwritten below
+        }
+
+        // Stage 2: resolve the unique uncached pairs of the block through
+        // the staged batch engine (header prefetch → span/landmark-row
+        // prefetch → warm-line resolution).
+        self.shared.oracle.distance_batch_accumulate(
+            &batch.pending_pairs,
+            &mut batch.index_answers,
+            &mut self.stats.index_work,
+        );
+
+        // Stage 3: classify index answers, run the fallback for misses,
+        // write definitive answers back to the cache and into `out`.
+        for idx in 0..batch.pending_pairs.len() {
+            let (s, t) = batch.pending_pairs[idx];
+            let answer = self.resolve_index_answer(s, t, batch.index_answers[idx]);
+            out[base + batch.pending_pos[idx] as usize] = answer;
+        }
+
+        // Stage 4: duplicates adopt the first occurrence's answer. Exact
+        // answers are cache-served by now; unreachable/miss keep their
+        // own classification (exactly what a serve_one loop reports).
+        for &(pos, first) in &batch.duplicates {
+            let source = out[base + batch.pending_pos[first as usize] as usize];
+            out[base + pos as usize] = match source {
+                ServedAnswer::Exact { distance, .. } => ServedAnswer::Exact {
+                    distance,
+                    method: ServedMethod::Cache,
+                },
+                other => other,
+            };
+        }
+        self.batch = batch;
+
+        // Stage 5: account every query, with block-amortised latency.
+        let elapsed = busy_start.elapsed();
+        let per_query = self
+            .shared
+            .record_latency
+            .then(|| elapsed / pairs.len() as u32);
+        for answer in &out[base..] {
+            let method = match *answer {
+                ServedAnswer::Exact { method, .. } => method,
+                ServedAnswer::Unreachable => ServedMethod::Unreachable,
+                ServedAnswer::Miss => ServedMethod::Miss,
+            };
+            self.stats.record(method, per_query);
+        }
+        self.stats.busy_time += elapsed;
     }
 
     /// This session's private statistics (merged into the service aggregate

@@ -163,7 +163,11 @@ pub struct ServerStats {
     pub method_counts: [u64; 10],
     /// Aggregate index work (hash probes, boundary scans).
     pub index_work: QueryStats,
-    /// Per-query latency distribution.
+    /// Per-query latency distribution. Queries served individually
+    /// (`serve_one`) record true per-query samples; batched serving
+    /// (`serve_into` / `serve_batch`) records batch-amortised samples —
+    /// the batch's wall time divided over its queries — which is the
+    /// meaningful figure for a pipelined engine.
     pub latency: LatencyHistogram,
     /// Summed busy time across workers (CPU-side service time).
     pub busy_time: Duration,

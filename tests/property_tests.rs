@@ -154,6 +154,50 @@ proptest! {
         prop_assert_eq!(&from_v1, &from_v2);
     }
 
+    /// The batched engine is the scalar engine with reordered memory
+    /// traffic: on arbitrary graphs (any alpha, with and without stored
+    /// paths, misses included) `distance_batch` and `path_batch` must
+    /// produce byte-identical answers AND identical work counters.
+    #[test]
+    fn batched_queries_match_scalar(
+        graph in arbitrary_graph(50, 120),
+        alpha in 0.5f64..16.0,
+        seed in 0u64..1000,
+        store_paths in any::<bool>(),
+    ) {
+        let oracle = OracleBuilder::new(Alpha::new(alpha).unwrap())
+            .seed(seed)
+            .store_paths(store_paths)
+            .build(&graph);
+        let n = graph.node_count() as u32;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for s in (0..n).step_by(5) {
+            for t in (0..n).step_by(9) {
+                pairs.push((s, t));
+            }
+        }
+        pairs.push((0, n + 50)); // out of range stays a Miss in both engines
+
+        let mut scalar_stats = vicinity::core::query::QueryStats::default();
+        let scalar: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| oracle.distance_accumulate(s, t, &mut scalar_stats))
+            .collect();
+        let mut batch_stats = vicinity::core::query::QueryStats::default();
+        let mut batched = Vec::new();
+        oracle.distance_batch_accumulate(&pairs, &mut batched, &mut batch_stats);
+        prop_assert_eq!(&scalar, &batched);
+        prop_assert_eq!(scalar_stats, batch_stats);
+
+        let scalar_paths: Vec<_> = pairs.iter().map(|&(s, t)| oracle.path(s, t)).collect();
+        prop_assert_eq!(&oracle.path_batch(&pairs), &scalar_paths);
+        let scalar_graph_paths: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| oracle.path_with_graph(&graph, s, t))
+            .collect();
+        prop_assert_eq!(&oracle.path_batch_with_graph(&graph, &pairs), &scalar_graph_paths);
+    }
+
     /// Graph binary codec round-trips arbitrary graphs.
     #[test]
     fn graph_binary_round_trips(graph in arbitrary_graph(80, 300)) {
@@ -197,5 +241,43 @@ proptest! {
             rebuilt.add_edge(u, v);
         }
         prop_assert_eq!(rebuilt.build_undirected(), graph);
+    }
+}
+
+/// Batch-vs-scalar parity on the structured workloads the proptest
+/// strategy does not generate: a social stand-in (hub-heavy, intersection
+/// answers dominate) and a grid at small alpha (miss/fallback pairs
+/// dominate). Answers and work counters must be identical in both.
+#[test]
+fn batched_queries_match_scalar_on_social_and_grid() {
+    use rand::SeedableRng;
+    use vicinity::core::query::QueryStats;
+    use vicinity::graph::generators::{classic, social::SocialGraphConfig};
+
+    let social = SocialGraphConfig::small_test().generate(401);
+    let grid = classic::grid(22, 22);
+    for (graph, alpha) in [(&social, 4.0), (&grid, 2.0)] {
+        let oracle = OracleBuilder::new(Alpha::new(alpha).unwrap())
+            .seed(402)
+            .build(graph);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(403);
+        let pairs = vicinity::graph::algo::sampling::random_pairs(graph, 400, &mut rng);
+
+        let mut scalar_stats = QueryStats::default();
+        let scalar: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| oracle.distance_accumulate(s, t, &mut scalar_stats))
+            .collect();
+        let mut batch_stats = QueryStats::default();
+        let mut batched = Vec::new();
+        oracle.distance_batch_accumulate(&pairs, &mut batched, &mut batch_stats);
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar_stats, batch_stats);
+
+        let scalar_paths: Vec<_> = pairs
+            .iter()
+            .map(|&(s, t)| oracle.path_with_graph(graph, s, t))
+            .collect();
+        assert_eq!(oracle.path_batch_with_graph(graph, &pairs), scalar_paths);
     }
 }

@@ -153,6 +153,92 @@ fn one_oracle_shared_across_four_threads() {
     );
 }
 
+/// `serve_into` must reuse the caller's output vector across batches: once
+/// the first batch has sized it, serving same-sized batches through the
+/// same session must never reallocate (callers previously could observe
+/// per-batch reallocation).
+#[test]
+fn serve_into_reuses_output_capacity_across_batches() {
+    let graph = SocialGraphConfig::small_test().generate(305);
+    let oracle = OracleBuilder::new(Alpha::PAPER_DEFAULT)
+        .seed(305)
+        .build(&graph);
+    let service = QueryService::builder(oracle, graph)
+        .cache_capacity(1024)
+        .build()
+        .expect("oracle and graph agree");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let pairs = random_pairs(service.graph(), 256, &mut rng);
+
+    let mut session = service.session();
+    let mut out = Vec::new();
+    session.serve_into(&pairs, &mut out);
+    assert_eq!(out.len(), pairs.len());
+    let settled_capacity = out.capacity();
+    for round in 0..10 {
+        out.clear();
+        session.serve_into(&pairs, &mut out);
+        assert_eq!(out.len(), pairs.len());
+        assert_eq!(
+            out.capacity(),
+            settled_capacity,
+            "round {round}: serve_into reallocated the output vector"
+        );
+    }
+}
+
+/// The batched serve_into pipeline (cache peel-off, duplicate collapsing,
+/// prefetch engine, fallback) must classify every query exactly as a
+/// serve_one loop does — exercised on a grid so the fallback path is part
+/// of the comparison.
+#[test]
+fn batched_serve_matches_serve_one_loop() {
+    let graph = vicinity::graph::generators::classic::grid(20, 20);
+    let build = || {
+        let oracle = OracleBuilder::new(Alpha::new(4.0).unwrap())
+            .seed(13)
+            .build(&graph);
+        QueryService::builder(oracle, graph.clone())
+            .cache_capacity(512)
+            .build()
+            .expect("oracle and graph agree")
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let mut pairs = random_pairs(&graph, 300, &mut rng);
+    let duplicates: Vec<_> = pairs[..30].to_vec();
+    pairs.extend(duplicates);
+
+    let scalar_service = build();
+    let mut scalar_session = scalar_service.session();
+    let scalar: Vec<ServedAnswer> = pairs
+        .iter()
+        .map(|&(s, t)| scalar_session.serve_one(s, t))
+        .collect();
+
+    let batched_service = build();
+    let mut batched_session = batched_service.session();
+    let mut batched = Vec::new();
+    batched_session.serve_into(&pairs, &mut batched);
+
+    assert_eq!(scalar.len(), batched.len());
+    let mut fallback_seen = false;
+    for (i, (a, b)) in scalar.iter().zip(&batched).enumerate() {
+        assert_eq!(a.distance(), b.distance(), "pair {i} ({:?})", pairs[i]);
+        assert_eq!(a.is_miss(), b.is_miss(), "pair {i}");
+        assert_eq!(a.is_unreachable(), b.is_unreachable(), "pair {i}");
+        if a.method() == Some(ServedMethod::Fallback) {
+            fallback_seen = true;
+        }
+    }
+    assert!(fallback_seen, "grid workload must exercise the fallback");
+    drop(scalar_session);
+    drop(batched_session);
+    assert_eq!(
+        scalar_service.stats().queries,
+        batched_service.stats().queries
+    );
+}
+
 /// serve_batch across threads returns answers in input order (spot-checked
 /// against the same batch served single-threaded).
 #[test]
