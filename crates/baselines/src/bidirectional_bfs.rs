@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use vicinity_graph::csr::CsrGraph;
-use vicinity_graph::{Distance, NodeId, INFINITY};
+use vicinity_graph::{Adjacency, Distance, NodeId, INFINITY};
 
 use crate::{PathEngine, PointToPoint};
 
@@ -86,8 +86,10 @@ impl BidirBfsScratch {
     }
 
     /// Exact distance between `s` and `t` in `graph`, or `None` when
-    /// unreachable (or either endpoint is out of range).
-    pub fn distance(&mut self, graph: &CsrGraph, s: NodeId, t: NodeId) -> Option<Distance> {
+    /// unreachable (or either endpoint is out of range). Generic over
+    /// [`Adjacency`] so the serving fallback runs on dynamic graph
+    /// overlays as well as frozen CSR graphs.
+    pub fn distance<G: Adjacency>(&mut self, graph: &G, s: NodeId, t: NodeId) -> Option<Distance> {
         let n = graph.node_count();
         self.ensure_capacity(n);
         self.operations = 0;
@@ -138,9 +140,9 @@ impl BidirBfsScratch {
     /// balls. After a seeded search, [`BidirBfsScratch::last_meeting`]
     /// reports the meeting node but paths cannot be reconstructed (seed
     /// parents are unknown to the scratch).
-    pub fn distance_seeded<F, B>(
+    pub fn distance_seeded<G: Adjacency, F, B>(
         &mut self,
-        graph: &CsrGraph,
+        graph: &G,
         fwd_seeds: F,
         fwd_radius: Distance,
         bwd_seeds: B,
@@ -198,9 +200,9 @@ impl BidirBfsScratch {
     /// `radius_fwd` / `radius_bwd` are the distances through which each
     /// side is already complete; `best` / `meeting` carry any meeting
     /// already discovered during seeding.
-    fn run(
+    fn run<G: Adjacency>(
         &mut self,
-        graph: &CsrGraph,
+        graph: &G,
         stamp: u32,
         mut radius_fwd: Distance,
         mut radius_bwd: Distance,
@@ -280,7 +282,7 @@ impl BidirBfsScratch {
 
     /// Shortest path between `s` and `t`, or `None` when unreachable. Runs
     /// a fresh search so the parent arrays are in scope for reconstruction.
-    pub fn path(&mut self, graph: &CsrGraph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    pub fn path<G: Adjacency>(&mut self, graph: &G, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
         self.distance(graph, s, t)?;
         if s == t {
             return Some(vec![s]);

@@ -16,6 +16,8 @@
 //! Steps 3 and 4 are embarrassingly parallel across nodes / landmarks and
 //! are distributed over worker threads with `std::thread::scope`.
 
+use std::sync::Arc;
+
 use vicinity_graph::algo::bfs::{bfs_distances, BoundedBfsScratch};
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::fast_hash::FastMap;
@@ -40,6 +42,11 @@ use crate::vicinity::{VicinityChunk, VicinityStore};
 #[derive(Debug, Clone, Default)]
 pub struct OracleBuilder {
     config: OracleConfig,
+    /// When set, landmark sampling is skipped and exactly these nodes form
+    /// `L`. Used to rebuild an oracle over a mutated graph with the same
+    /// landmark set a dynamic oracle holds fixed, so the rebuild is
+    /// answer-comparable to incremental maintenance.
+    pinned_landmarks: Option<Vec<NodeId>>,
 }
 
 impl OracleBuilder {
@@ -50,12 +57,24 @@ impl OracleBuilder {
                 alpha,
                 ..Default::default()
             },
+            pinned_landmarks: None,
         }
     }
 
     /// Start a builder from a full configuration.
     pub fn from_config(config: OracleConfig) -> Self {
-        OracleBuilder { config }
+        OracleBuilder {
+            config,
+            pinned_landmarks: None,
+        }
+    }
+
+    /// Pin the landmark set to exactly `nodes` (deduplicated, out-of-range
+    /// ids dropped), bypassing sampling. The α / sampling configuration is
+    /// kept for the record but does not influence selection.
+    pub fn landmarks(mut self, nodes: Vec<NodeId>) -> Self {
+        self.pinned_landmarks = Some(nodes);
+        self
     }
 
     /// Set the RNG seed used for landmark sampling.
@@ -104,8 +123,11 @@ impl OracleBuilder {
         self.config.validate()?;
         let config = self.config.clone();
 
-        // Step 1: landmark selection.
-        let landmarks = LandmarkSet::select(graph, &config);
+        // Step 1: landmark selection (or the caller's pinned set).
+        let landmarks = match &self.pinned_landmarks {
+            Some(nodes) => LandmarkSet::from_nodes(nodes.clone(), graph.node_count()),
+            None => LandmarkSet::select(graph, &config),
+        };
 
         // Step 2: ball radii via one multi-source BFS.
         let radii = BallRadii::compute(graph, &landmarks);
@@ -185,7 +207,7 @@ fn build_landmark_tables(
     graph: &CsrGraph,
     config: &OracleConfig,
     landmarks: &LandmarkSet,
-) -> FastMap<NodeId, LandmarkTable> {
+) -> FastMap<NodeId, Arc<LandmarkTable>> {
     let landmark_nodes = landmarks.nodes();
     if landmark_nodes.is_empty() {
         return FastMap::default();
@@ -193,8 +215,11 @@ fn build_landmark_tables(
     let threads = config.effective_threads().clamp(1, landmark_nodes.len());
     let chunk_size = landmark_nodes.len().div_ceil(threads);
 
-    let build_row = |&l: &NodeId| -> (NodeId, LandmarkTable) {
-        (l, LandmarkTable::from_distances(&bfs_distances(graph, l)))
+    let build_row = |&l: &NodeId| -> (NodeId, Arc<LandmarkTable>) {
+        (
+            l,
+            Arc::new(LandmarkTable::from_distances(&bfs_distances(graph, l))),
+        )
     };
 
     if threads == 1 {

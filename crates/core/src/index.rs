@@ -12,6 +12,8 @@
 //! landmark are reconstructed by greedy descent on the distance array, so no
 //! predecessor storage is needed for landmarks.
 
+use std::sync::Arc;
+
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::{Distance, NodeId, INFINITY};
@@ -21,13 +23,13 @@ use crate::landmarks::LandmarkSet;
 use crate::vicinity::{VicinityRef, VicinityStore};
 
 /// Sentinel for "unreachable" in the compact landmark rows.
-const UNREACHABLE_U16: u16 = u16::MAX;
+pub(crate) const UNREACHABLE_U16: u16 = u16::MAX;
 
 /// Sentinel for "finite but too large for 16 bits" in the compact landmark
 /// rows. Distinguishing saturation from unreachability keeps queries from
 /// reporting connected pairs as provably disconnected on graphs with
 /// diameters beyond `u16` range.
-const SATURATED_U16: u16 = u16::MAX - 1;
+pub(crate) const SATURATED_U16: u16 = u16::MAX - 1;
 
 /// One decoded landmark-row entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,9 +82,19 @@ impl LandmarkTable {
     #[inline]
     pub fn entry(&self, v: NodeId) -> LandmarkEntry {
         match self.distances.get(v as usize) {
-            Some(&UNREACHABLE_U16) | None => LandmarkEntry::Unreachable,
-            Some(&SATURATED_U16) => LandmarkEntry::Saturated,
-            Some(&d) => LandmarkEntry::Exact(d as Distance),
+            Some(&raw) => Self::decode_entry(raw),
+            None => LandmarkEntry::Unreachable,
+        }
+    }
+
+    /// Decode one compact row value (the encoding `from_distances` uses:
+    /// exact < saturated < unreachable, monotone in the true distance).
+    #[inline]
+    pub(crate) fn decode_entry(raw: u16) -> LandmarkEntry {
+        match raw {
+            UNREACHABLE_U16 => LandmarkEntry::Unreachable,
+            SATURATED_U16 => LandmarkEntry::Saturated,
+            d => LandmarkEntry::Exact(d as Distance),
         }
     }
 
@@ -116,6 +128,20 @@ impl LandmarkTable {
         &self.distances
     }
 
+    /// Mutable raw compact distances — used by the dynamic overlay's
+    /// incremental row repair ([`crate::dynamic`]), which maintains the
+    /// same clamped encoding `from_distances` produces.
+    pub(crate) fn raw_mut(&mut self) -> &mut [u16] {
+        &mut self.distances
+    }
+
+    /// True when any entry is the saturation sentinel — such rows carry
+    /// "unknown large" values that clamped decremental repair cannot see
+    /// through, so the dynamic overlay recomputes them wholesale.
+    pub(crate) fn has_saturated(&self) -> bool {
+        self.distances.contains(&SATURATED_U16)
+    }
+
     /// Rebuild from raw compact distances (for deserialization).
     pub(crate) fn from_raw(distances: Vec<u16>) -> Self {
         LandmarkTable { distances }
@@ -134,8 +160,10 @@ pub struct VicinityOracle {
     pub(crate) landmarks: LandmarkSet,
     /// Arena-backed flat storage of every node's vicinity.
     pub(crate) store: VicinityStore,
-    /// Landmark id → dense distance row.
-    pub(crate) landmark_tables: FastMap<NodeId, LandmarkTable>,
+    /// Landmark id → dense distance row. Rows sit behind `Arc` so a
+    /// dynamic overlay (or a compaction fold) can share the unchanged
+    /// rows of a base oracle instead of copying hundreds of megabytes.
+    pub(crate) landmark_tables: FastMap<NodeId, Arc<LandmarkTable>>,
 }
 
 impl VicinityOracle {
@@ -178,7 +206,7 @@ impl VicinityOracle {
 
     /// The dense distance row of landmark `u`, if `u` is a landmark.
     pub fn landmark_table(&self, u: NodeId) -> Option<&LandmarkTable> {
-        self.landmark_tables.get(&u)
+        self.landmark_tables.get(&u).map(|t| t.as_ref())
     }
 
     /// Whether the oracle stores shortest-path predecessors (and can
@@ -243,22 +271,7 @@ impl VicinityOracle {
         landmark: NodeId,
         target: NodeId,
     ) -> Option<Vec<NodeId>> {
-        let table = self.landmark_table(landmark)?;
-        let mut dist = table.distance_to(target)?;
-        let mut path = vec![target];
-        let mut current = target;
-        while dist > 0 {
-            let next = graph
-                .neighbors(current)
-                .iter()
-                .copied()
-                .find(|&w| table.distance_to(w) == Some(dist - 1))?;
-            path.push(next);
-            current = next;
-            dist -= 1;
-        }
-        path.reverse();
-        Some(path)
+        crate::query::landmark_path_on(self, graph, landmark, target)
     }
 }
 

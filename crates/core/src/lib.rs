@@ -59,6 +59,7 @@ pub mod ablation;
 pub mod ball;
 pub mod build;
 pub mod config;
+pub mod dynamic;
 pub mod error;
 pub mod fallback;
 pub mod index;
@@ -73,7 +74,8 @@ pub mod vicinity;
 
 pub use build::OracleBuilder;
 pub use config::{Alpha, OracleConfig, SamplingStrategy};
+pub use dynamic::{DynamicOracle, DynamicSnapshot, OverlayGraph, UpdateError};
 pub use error::{OracleError, Result};
 pub use index::VicinityOracle;
-pub use query::{DistanceAnswer, PathAnswer, QueryStats};
+pub use query::{DistanceAnswer, PathAnswer, QueryIndex, QueryStats};
 pub use vicinity::{VicinityRef, VicinityStore};

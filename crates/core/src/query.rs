@@ -15,9 +15,64 @@
 //! and the caller may fall back to an exact or approximate engine
 //! ([`crate::fallback`]).
 
-use vicinity_graph::{Distance, NodeId};
+use vicinity_graph::{Adjacency, Distance, NodeId};
 
-use crate::index::VicinityOracle;
+use crate::index::{LandmarkEntry, LandmarkTable, VicinityOracle};
+use crate::vicinity::VicinityRef;
+use vicinity_graph::fast_hash::FastMap;
+
+/// A borrowed view of one landmark's dense distance row: either the flat
+/// frozen row, or a frozen base overlaid with a sparse delta of repaired
+/// entries (the dynamic oracle's representation — an edge update touching
+/// a handful of entries must not copy a whole row). All query-time row
+/// reads go through this enum, so both representations serve identical
+/// answers.
+#[derive(Debug, Clone, Copy)]
+pub enum RowRef<'a> {
+    /// A plain frozen row.
+    Flat(&'a LandmarkTable),
+    /// A frozen base plus sparse repaired entries (compact `u16` encoding,
+    /// same clamped domain as the base row).
+    Overlay {
+        /// The frozen base row.
+        base: &'a LandmarkTable,
+        /// Repaired entries overriding the base.
+        delta: &'a FastMap<vicinity_graph::NodeId, u16>,
+    },
+}
+
+impl<'a> RowRef<'a> {
+    /// Full decoded entry for `v`.
+    #[inline]
+    pub fn entry(&self, v: NodeId) -> LandmarkEntry {
+        match self {
+            RowRef::Flat(table) => table.entry(v),
+            RowRef::Overlay { base, delta } => match delta.get(&v) {
+                Some(&raw) => LandmarkTable::decode_entry(raw),
+                None => base.entry(v),
+            },
+        }
+    }
+
+    /// Distance from the landmark to `v`, or `None` when unreachable,
+    /// saturated, or out of range.
+    #[inline]
+    pub fn distance_to(&self, v: NodeId) -> Option<Distance> {
+        match self.entry(v) {
+            LandmarkEntry::Exact(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Stage-2 prefetch hint for the entry of `v` (base line only — delta
+    /// maps are small and hot).
+    #[inline]
+    pub(crate) fn prefetch_entry(&self, v: NodeId) {
+        match self {
+            RowRef::Flat(table) | RowRef::Overlay { base: table, .. } => table.prefetch_entry(v),
+        }
+    }
+}
 
 /// Pairs per pipeline block of the batched engine. Sized so one block's
 /// hinted lines (~20 per pair) fit comfortably in L1/L2 while still
@@ -167,6 +222,452 @@ impl PathAnswer {
     }
 }
 
+/// Read-only probe surface of a queryable index: everything Algorithm 1
+/// dereferences, abstracted so the *same* query implementation serves both
+/// the frozen [`VicinityOracle`] and overlay-backed dynamic views
+/// ([`crate::dynamic::DynamicOracle`]). Because every probe path — vicinity
+/// reads, shell intersection, landmark bounds, and the batched pipeline —
+/// goes through this trait, an implementation that consults a delta overlay
+/// is automatically consulted on all of them; answer and
+/// [`AnswerMethod`] parity across implementations holds by construction.
+///
+/// The `hint_*` methods are software-prefetch staging hooks used by the
+/// batched pipeline; they must be semantic no-ops (the defaults do
+/// nothing), so implementations may skip them wherever prefetching is not
+/// worthwhile.
+pub trait QueryIndex {
+    /// True when `u` is a valid node id for this index.
+    fn covers(&self, u: NodeId) -> bool;
+
+    /// Borrowed view of `Γ(u)`, or `None` when `u` is out of range.
+    fn vicinity_of(&self, u: NodeId) -> Option<VicinityRef<'_>>;
+
+    /// The dense distance row of `u`, if `u` is a landmark.
+    fn landmark_row_of(&self, u: NodeId) -> Option<RowRef<'_>>;
+
+    /// Nearest landmark of `u` from its header data, if any is reachable.
+    fn nearest_landmark_of(&self, u: NodeId) -> Option<NodeId>;
+
+    /// Whether shortest-path predecessors are stored.
+    fn stores_path_data(&self) -> bool;
+
+    /// Stage-1 prefetch hint: warm `u`'s header rows.
+    #[inline]
+    fn hint_header(&self, _u: NodeId) {}
+
+    /// Stage-2 prefetch hint: warm the pool spans a `(u, probe)` query
+    /// dereferences.
+    #[inline]
+    fn hint_query_spans(&self, _u: NodeId, _probe: NodeId, _want_paths: bool) {}
+}
+
+/// Algorithm 1 over any [`QueryIndex`] view; the single implementation
+/// behind [`VicinityOracle::distance_with_stats`] and the dynamic-oracle
+/// query methods.
+pub(crate) fn distance_with_stats_on<I: QueryIndex + ?Sized>(
+    index: &I,
+    s: NodeId,
+    t: NodeId,
+) -> (DistanceAnswer, QueryStats) {
+    let mut stats = QueryStats::default();
+    if !index.covers(s) || !index.covers(t) {
+        return (DistanceAnswer::Miss, stats);
+    }
+    if s == t {
+        return (
+            DistanceAnswer::Exact {
+                distance: 0,
+                method: AnswerMethod::SameNode,
+            },
+            stats,
+        );
+    }
+
+    // Cases 1 and 2: an endpoint is a landmark — answer from its dense
+    // row. A saturated entry (finite distance beyond the row's 16-bit
+    // storage) is reported as a miss rather than a wrong "unreachable",
+    // so the caller's exact fallback can resolve it.
+    for (landmark, other, method) in [
+        (s, t, AnswerMethod::SourceLandmark),
+        (t, s, AnswerMethod::TargetLandmark),
+    ] {
+        stats.lookups += 1;
+        if let Some(table) = index.landmark_row_of(landmark) {
+            stats.lookups += 1;
+            return match table.entry(other) {
+                LandmarkEntry::Exact(distance) => {
+                    (DistanceAnswer::Exact { distance, method }, stats)
+                }
+                LandmarkEntry::Unreachable => (DistanceAnswer::Unreachable, stats),
+                LandmarkEntry::Saturated => (DistanceAnswer::Miss, stats),
+            };
+        }
+    }
+
+    let vs = index.vicinity_of(s).expect("checked in-range");
+    let vt = index.vicinity_of(t).expect("checked in-range");
+
+    // Case 3: t ∈ Γ(s).
+    stats.lookups += 1;
+    if let Some(d) = vs.distance_to(t) {
+        return (
+            DistanceAnswer::Exact {
+                distance: d,
+                method: AnswerMethod::TargetInSourceVicinity,
+            },
+            stats,
+        );
+    }
+    // Case 4: s ∈ Γ(t).
+    stats.lookups += 1;
+    if let Some(d) = vt.distance_to(s) {
+        return (
+            DistanceAnswer::Exact {
+                distance: d,
+                method: AnswerMethod::SourceInTargetVicinity,
+            },
+            stats,
+        );
+    }
+
+    // Exact pruning from structure already in memory, all O(1) probes:
+    //
+    // * Cases 3 and 4 failing proves `d(s,t) > max(r_s, r_t)` (for
+    //   unweighted graphs the vicinity is exactly the radius-`r` ball).
+    // * The nearest-landmark rows give the triangle bound
+    //   `|d(ℓ,s) − d(ℓ,t)| ≤ d(s,t)` — and a landmark reaching one
+    //   endpoint but not the other proves the endpoints disconnected.
+    //
+    // The resulting lower bound serves twice: when it exceeds
+    // `r_s + r_t` the balls provably do not intersect (certified miss,
+    // no scan at all), and otherwise the intersection scan can stop at
+    // the first witness attaining the bound — on social graphs most
+    // shortest paths run through early-scanned hub witnesses, so this
+    // usually ends the scan after a handful of merge steps.
+    let mut lower_bound = vs.radius().max(vt.radius()) + 1;
+    for (vicinity, other_endpoint) in [(vs, t), (vt, s)] {
+        let Some(landmark) = vicinity.nearest_landmark() else {
+            continue;
+        };
+        stats.lookups += 1;
+        if let Some(table) = index.landmark_row_of(landmark) {
+            // `None` here means unreachable from the landmark *or* a
+            // distance saturating the row's u16 storage, so it cannot
+            // be treated as a definitive "disconnected" — skip the
+            // bound and let the scan (and, on a miss, the fallback)
+            // decide.
+            if let Some(d_other) = table.distance_to(other_endpoint) {
+                // d(ℓ(u), u) is the ball radius by definition.
+                lower_bound = lower_bound.max(vicinity.radius().abs_diff(d_other));
+            }
+        }
+    }
+    if lower_bound > vs.radius() + vt.radius() {
+        return (DistanceAnswer::Miss, stats);
+    }
+
+    // Vicinity intersection by distance level (Theorem 1: any common
+    // member `w` certifies `d(s,t) ≤ d(s,w) + d(w,t)`, and when the
+    // balls intersect the minimum such sum *is* `d(s,t)`). Each
+    // vicinity stores its members grouped into per-distance shells, so
+    // candidate sums are probed in increasing order: for `total = lb,
+    // lb+1, …` intersect shell `a` of `Γ(s)` with shell `total − a` of
+    // `Γ(t)`. The first non-empty shell pair proves `d(s,t) = total`
+    // exactly — no minimum tracking, no scan past the answer — and
+    // exhausting `total ≤ r_s + r_t` proves the balls disjoint.
+    // Each shell pair goes through the adaptive kernel: a galloping
+    // sorted merge by default, hash probes of the smaller shell when
+    // the pair is lopsided (see `VicinityRef::shell_intersect_adaptive`).
+    // Bound the scan by the *populated* shell extents rather than the
+    // nominal radii: a landmark-free vicinity's radius degenerates to
+    // the graph's hop bound, which would turn the loop below into an
+    // O(n²) sweep over empty shells.
+    let (vs_extent, vt_extent) = (vs.max_shell_distance(), vt.max_shell_distance());
+    let max_sum = vs_extent + vt_extent;
+    let mut counters = crate::vicinity::IntersectCounters::default();
+    let mut answer = None;
+    'levels: for total in lower_bound..=max_sum {
+        let a_low = total.saturating_sub(vt_extent);
+        let a_high = total.min(vs_extent);
+        for a in a_low..=a_high {
+            if vs.shell_intersect_adaptive(a, &vt, total - a, &mut counters) {
+                answer = Some(total);
+                break 'levels;
+            }
+        }
+    }
+    stats.boundary_scanned += counters.steps;
+    stats.lookups += counters.steps;
+    stats.merge_intersections += counters.merge_calls;
+    stats.probe_intersections += counters.probe_calls;
+    match answer {
+        Some(distance) => {
+            stats.intersection_size += 1;
+            (
+                DistanceAnswer::Exact {
+                    distance,
+                    method: AnswerMethod::VicinityIntersection,
+                },
+                stats,
+            )
+        }
+        None => (DistanceAnswer::Miss, stats),
+    }
+}
+
+/// The staged software-prefetch batch pipeline over any [`QueryIndex`]:
+/// header hints, span/landmark-row hints, then warm-line resolution, in
+/// [`BATCH_BLOCK`]-pair blocks. Byte-identical answers and stats to the
+/// scalar loop.
+pub(crate) fn distance_batch_accumulate_on<I: QueryIndex + ?Sized>(
+    index: &I,
+    pairs: &[(NodeId, NodeId)],
+    out: &mut Vec<DistanceAnswer>,
+    accumulator: &mut QueryStats,
+) {
+    out.reserve(pairs.len());
+    for block in pairs.chunks(BATCH_BLOCK) {
+        for &(s, t) in block {
+            index.hint_header(s);
+            index.hint_header(t);
+        }
+        for &(s, t) in block {
+            index.hint_query_spans(s, t, false);
+            index.hint_query_spans(t, s, false);
+            hint_landmark_rows(index, s, t);
+        }
+        for &(s, t) in block {
+            let (answer, stats) = distance_with_stats_on(index, s, t);
+            accumulator.merge(&stats);
+            out.push(answer);
+        }
+    }
+}
+
+/// Stage-2 landmark-row hints for one pair: the case-1/2 rows (when an
+/// endpoint is itself a landmark) and the nearest-landmark rows the
+/// triangle-bound pruning reads. Each entry is one random access into
+/// a dense row far larger than a cache line — exactly the loads worth
+/// overlapping across a batch.
+#[inline]
+fn hint_landmark_rows<I: QueryIndex + ?Sized>(index: &I, s: NodeId, t: NodeId) {
+    if let Some(table) = index.landmark_row_of(s) {
+        table.prefetch_entry(t);
+    }
+    if let Some(table) = index.landmark_row_of(t) {
+        table.prefetch_entry(s);
+    }
+    for (u, other) in [(s, t), (t, s)] {
+        if let Some(landmark) = index.nearest_landmark_of(u) {
+            if let Some(table) = index.landmark_row_of(landmark) {
+                table.prefetch_entry(other);
+            }
+        }
+    }
+}
+
+/// Path queries (Algorithm 1 + predecessor splicing) over any
+/// [`QueryIndex`], with optional graph access for landmark-endpoint
+/// greedy descent.
+pub(crate) fn path_on<I: QueryIndex + ?Sized, G: Adjacency + ?Sized>(
+    index: &I,
+    graph: Option<&G>,
+    s: NodeId,
+    t: NodeId,
+) -> PathAnswer {
+    if !index.covers(s) || !index.covers(t) {
+        return PathAnswer::Miss;
+    }
+    if s == t {
+        return PathAnswer::Exact {
+            path: vec![s],
+            distance: 0,
+            method: AnswerMethod::SameNode,
+        };
+    }
+
+    // Landmark endpoints: need the graph for greedy descent. As with
+    // distance queries, a u16-saturated row entry means "connected but
+    // too far to store", which must surface as a miss — not a wrong
+    // "unreachable".
+    if let Some(table) = index.landmark_row_of(s) {
+        return match (graph, table.entry(t)) {
+            (_, LandmarkEntry::Unreachable) => PathAnswer::Unreachable,
+            (Some(g), LandmarkEntry::Exact(_)) => match landmark_path_on(index, g, s, t) {
+                Some(path) => PathAnswer::Exact {
+                    distance: (path.len() - 1) as Distance,
+                    path,
+                    method: AnswerMethod::SourceLandmark,
+                },
+                None => PathAnswer::Miss,
+            },
+            _ => PathAnswer::Miss,
+        };
+    }
+    if let Some(table) = index.landmark_row_of(t) {
+        return match (graph, table.entry(s)) {
+            (_, LandmarkEntry::Unreachable) => PathAnswer::Unreachable,
+            (Some(g), LandmarkEntry::Exact(_)) => match landmark_path_on(index, g, t, s) {
+                Some(mut path) => {
+                    path.reverse();
+                    PathAnswer::Exact {
+                        distance: (path.len() - 1) as Distance,
+                        path,
+                        method: AnswerMethod::TargetLandmark,
+                    }
+                }
+                None => PathAnswer::Miss,
+            },
+            _ => PathAnswer::Miss,
+        };
+    }
+
+    if !index.stores_path_data() {
+        return PathAnswer::Miss;
+    }
+
+    let vs = index.vicinity_of(s).expect("checked in-range");
+    let vt = index.vicinity_of(t).expect("checked in-range");
+
+    // t ∈ Γ(s): chase predecessors inside Γ(s).
+    if let Some(path) = vs.path_to(t) {
+        return PathAnswer::Exact {
+            distance: (path.len() - 1) as Distance,
+            path,
+            method: AnswerMethod::TargetInSourceVicinity,
+        };
+    }
+    // s ∈ Γ(t): chase predecessors inside Γ(t) and reverse.
+    if let Some(mut path) = vt.path_to(s) {
+        path.reverse();
+        return PathAnswer::Exact {
+            distance: (path.len() - 1) as Distance,
+            path,
+            method: AnswerMethod::SourceInTargetVicinity,
+        };
+    }
+
+    // Vicinity intersection: find the witness minimising the sum, then
+    // splice the two half-paths at the witness.
+    let (scan, probe, scanning_source) = if vs.boundary_len() <= vt.boundary_len() {
+        (vs, vt, true)
+    } else {
+        (vt, vs, false)
+    };
+    let (best, _scanned, _witnesses) = scan.min_boundary_sum(&probe);
+    let Some((distance, witness)) = best else {
+        return PathAnswer::Miss;
+    };
+    let (path_from_s, path_from_t) = if scanning_source {
+        (scan.path_to(witness), probe.path_to(witness))
+    } else {
+        (probe.path_to(witness), scan.path_to(witness))
+    };
+    let (Some(mut path_from_s), Some(path_from_t)) = (path_from_s, path_from_t) else {
+        return PathAnswer::Miss;
+    };
+    // path_from_s = s..=witness ; path_from_t = t..=witness. Append the
+    // reversed target half without repeating the witness.
+    path_from_s.extend(path_from_t.into_iter().rev().skip(1));
+    PathAnswer::Exact {
+        distance,
+        path: path_from_s,
+        method: AnswerMethod::VicinityIntersection,
+    }
+}
+
+/// Batched path queries through the same staged prefetch pipeline as
+/// [`distance_batch_accumulate_on`] (additionally warming predecessor and
+/// boundary segments).
+pub(crate) fn path_batch_on<I: QueryIndex + ?Sized, G: Adjacency + ?Sized>(
+    index: &I,
+    graph: Option<&G>,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<PathAnswer> {
+    let mut out = Vec::with_capacity(pairs.len());
+    for block in pairs.chunks(BATCH_BLOCK) {
+        for &(s, t) in block {
+            index.hint_header(s);
+            index.hint_header(t);
+        }
+        for &(s, t) in block {
+            index.hint_query_spans(s, t, true);
+            index.hint_query_spans(t, s, true);
+            hint_landmark_rows(index, s, t);
+        }
+        for &(s, t) in block {
+            out.push(path_on(index, graph, s, t));
+        }
+    }
+    out
+}
+
+/// Greedy-descent path from `landmark` to `target` over any graph view:
+/// from `target`, repeatedly step to any neighbour whose stored row
+/// distance is exactly one less. Returns the path from the landmark to the
+/// target (inclusive), or `None` when `target` is unreachable or
+/// `landmark` has no row.
+pub(crate) fn landmark_path_on<I: QueryIndex + ?Sized, G: Adjacency + ?Sized>(
+    index: &I,
+    graph: &G,
+    landmark: NodeId,
+    target: NodeId,
+) -> Option<Vec<NodeId>> {
+    let table = index.landmark_row_of(landmark)?;
+    let mut dist = table.distance_to(target)?;
+    let mut path = vec![target];
+    let mut current = target;
+    while dist > 0 {
+        let next = graph
+            .neighbors(current)
+            .iter()
+            .copied()
+            .find(|&w| table.distance_to(w) == Some(dist - 1))?;
+        path.push(next);
+        current = next;
+        dist -= 1;
+    }
+    path.reverse();
+    Some(path)
+}
+
+impl QueryIndex for VicinityOracle {
+    #[inline]
+    fn covers(&self, u: NodeId) -> bool {
+        self.contains_node(u)
+    }
+
+    #[inline]
+    fn vicinity_of(&self, u: NodeId) -> Option<VicinityRef<'_>> {
+        self.store.get(u)
+    }
+
+    #[inline]
+    fn landmark_row_of(&self, u: NodeId) -> Option<RowRef<'_>> {
+        self.landmark_table(u).map(RowRef::Flat)
+    }
+
+    #[inline]
+    fn nearest_landmark_of(&self, u: NodeId) -> Option<NodeId> {
+        self.store.nearest_of(u)
+    }
+
+    #[inline]
+    fn stores_path_data(&self) -> bool {
+        self.stores_paths()
+    }
+
+    #[inline]
+    fn hint_header(&self, u: NodeId) {
+        self.store.prefetch_header(u);
+    }
+
+    #[inline]
+    fn hint_query_spans(&self, u: NodeId, probe: NodeId, want_paths: bool) {
+        self.store.prefetch_query_spans(u, probe, want_paths);
+    }
+}
+
 impl VicinityOracle {
     /// Exact shortest-path distance between `s` and `t` (Algorithm 1).
     pub fn distance(&self, s: NodeId, t: NodeId) -> DistanceAnswer {
@@ -191,152 +692,7 @@ impl VicinityOracle {
 
     /// Like [`VicinityOracle::distance`] but also reports per-query work.
     pub fn distance_with_stats(&self, s: NodeId, t: NodeId) -> (DistanceAnswer, QueryStats) {
-        let mut stats = QueryStats::default();
-        if !self.contains_node(s) || !self.contains_node(t) {
-            return (DistanceAnswer::Miss, stats);
-        }
-        if s == t {
-            return (
-                DistanceAnswer::Exact {
-                    distance: 0,
-                    method: AnswerMethod::SameNode,
-                },
-                stats,
-            );
-        }
-
-        // Cases 1 and 2: an endpoint is a landmark — answer from its dense
-        // row. A saturated entry (finite distance beyond the row's 16-bit
-        // storage) is reported as a miss rather than a wrong "unreachable",
-        // so the caller's exact fallback can resolve it.
-        for (landmark, other, method) in [
-            (s, t, AnswerMethod::SourceLandmark),
-            (t, s, AnswerMethod::TargetLandmark),
-        ] {
-            stats.lookups += 1;
-            if let Some(table) = self.landmark_table(landmark) {
-                stats.lookups += 1;
-                return match table.entry(other) {
-                    crate::index::LandmarkEntry::Exact(distance) => {
-                        (DistanceAnswer::Exact { distance, method }, stats)
-                    }
-                    crate::index::LandmarkEntry::Unreachable => {
-                        (DistanceAnswer::Unreachable, stats)
-                    }
-                    crate::index::LandmarkEntry::Saturated => (DistanceAnswer::Miss, stats),
-                };
-            }
-        }
-
-        let vs = self.vicinity(s).expect("checked in-range");
-        let vt = self.vicinity(t).expect("checked in-range");
-
-        // Case 3: t ∈ Γ(s).
-        stats.lookups += 1;
-        if let Some(d) = vs.distance_to(t) {
-            return (
-                DistanceAnswer::Exact {
-                    distance: d,
-                    method: AnswerMethod::TargetInSourceVicinity,
-                },
-                stats,
-            );
-        }
-        // Case 4: s ∈ Γ(t).
-        stats.lookups += 1;
-        if let Some(d) = vt.distance_to(s) {
-            return (
-                DistanceAnswer::Exact {
-                    distance: d,
-                    method: AnswerMethod::SourceInTargetVicinity,
-                },
-                stats,
-            );
-        }
-
-        // Exact pruning from structure already in memory, all O(1) probes:
-        //
-        // * Cases 3 and 4 failing proves `d(s,t) > max(r_s, r_t)` (for
-        //   unweighted graphs the vicinity is exactly the radius-`r` ball).
-        // * The nearest-landmark rows give the triangle bound
-        //   `|d(ℓ,s) − d(ℓ,t)| ≤ d(s,t)` — and a landmark reaching one
-        //   endpoint but not the other proves the endpoints disconnected.
-        //
-        // The resulting lower bound serves twice: when it exceeds
-        // `r_s + r_t` the balls provably do not intersect (certified miss,
-        // no scan at all), and otherwise the intersection scan can stop at
-        // the first witness attaining the bound — on social graphs most
-        // shortest paths run through early-scanned hub witnesses, so this
-        // usually ends the scan after a handful of merge steps.
-        let mut lower_bound = vs.radius().max(vt.radius()) + 1;
-        for (vicinity, other_endpoint) in [(vs, t), (vt, s)] {
-            let Some(landmark) = vicinity.nearest_landmark() else {
-                continue;
-            };
-            stats.lookups += 1;
-            if let Some(table) = self.landmark_table(landmark) {
-                // `None` here means unreachable from the landmark *or* a
-                // distance saturating the row's u16 storage, so it cannot
-                // be treated as a definitive "disconnected" — skip the
-                // bound and let the scan (and, on a miss, the fallback)
-                // decide.
-                if let Some(d_other) = table.distance_to(other_endpoint) {
-                    // d(ℓ(u), u) is the ball radius by definition.
-                    lower_bound = lower_bound.max(vicinity.radius().abs_diff(d_other));
-                }
-            }
-        }
-        if lower_bound > vs.radius() + vt.radius() {
-            return (DistanceAnswer::Miss, stats);
-        }
-
-        // Vicinity intersection by distance level (Theorem 1: any common
-        // member `w` certifies `d(s,t) ≤ d(s,w) + d(w,t)`, and when the
-        // balls intersect the minimum such sum *is* `d(s,t)`). Each
-        // vicinity stores its members grouped into per-distance shells, so
-        // candidate sums are probed in increasing order: for `total = lb,
-        // lb+1, …` intersect shell `a` of `Γ(s)` with shell `total − a` of
-        // `Γ(t)`. The first non-empty shell pair proves `d(s,t) = total`
-        // exactly — no minimum tracking, no scan past the answer — and
-        // exhausting `total ≤ r_s + r_t` proves the balls disjoint.
-        // Each shell pair goes through the adaptive kernel: a galloping
-        // sorted merge by default, hash probes of the smaller shell when
-        // the pair is lopsided (see `VicinityRef::shell_intersect_adaptive`).
-        // Bound the scan by the *populated* shell extents rather than the
-        // nominal radii: a landmark-free vicinity's radius degenerates to
-        // the graph's hop bound, which would turn the loop below into an
-        // O(n²) sweep over empty shells.
-        let (vs_extent, vt_extent) = (vs.max_shell_distance(), vt.max_shell_distance());
-        let max_sum = vs_extent + vt_extent;
-        let mut counters = crate::vicinity::IntersectCounters::default();
-        let mut answer = None;
-        'levels: for total in lower_bound..=max_sum {
-            let a_low = total.saturating_sub(vt_extent);
-            let a_high = total.min(vs_extent);
-            for a in a_low..=a_high {
-                if vs.shell_intersect_adaptive(a, &vt, total - a, &mut counters) {
-                    answer = Some(total);
-                    break 'levels;
-                }
-            }
-        }
-        stats.boundary_scanned += counters.steps;
-        stats.lookups += counters.steps;
-        stats.merge_intersections += counters.merge_calls;
-        stats.probe_intersections += counters.probe_calls;
-        match answer {
-            Some(distance) => {
-                stats.intersection_size += 1;
-                (
-                    DistanceAnswer::Exact {
-                        distance,
-                        method: AnswerMethod::VicinityIntersection,
-                    },
-                    stats,
-                )
-            }
-            None => (DistanceAnswer::Miss, stats),
-        }
+        distance_with_stats_on(self, s, t)
     }
 
     /// Answer a batch of distance queries, in input order.
@@ -367,21 +723,7 @@ impl VicinityOracle {
         out: &mut Vec<DistanceAnswer>,
         accumulator: &mut QueryStats,
     ) {
-        out.reserve(pairs.len());
-        for block in pairs.chunks(BATCH_BLOCK) {
-            for &(s, t) in block {
-                self.store.prefetch_header(s);
-                self.store.prefetch_header(t);
-            }
-            for &(s, t) in block {
-                self.store.prefetch_query_spans(s, t, false);
-                self.store.prefetch_query_spans(t, s, false);
-                self.prefetch_landmark_rows(s, t);
-            }
-            for &(s, t) in block {
-                out.push(self.distance_accumulate(s, t, accumulator));
-            }
-        }
+        distance_batch_accumulate_on(self, pairs, out, accumulator);
     }
 
     /// Answer a batch of path queries, in input order, through the same
@@ -390,7 +732,7 @@ impl VicinityOracle {
     /// path-splicing walk reads). Identical answers to per-pair
     /// [`VicinityOracle::path`] calls.
     pub fn path_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<PathAnswer> {
-        self.path_batch_inner(pairs, None)
+        path_batch_on::<_, vicinity_graph::csr::CsrGraph>(self, None, pairs)
     }
 
     /// Like [`VicinityOracle::path_batch`], with graph access so
@@ -401,52 +743,7 @@ impl VicinityOracle {
         graph: &vicinity_graph::csr::CsrGraph,
         pairs: &[(NodeId, NodeId)],
     ) -> Vec<PathAnswer> {
-        self.path_batch_inner(pairs, Some(graph))
-    }
-
-    fn path_batch_inner(
-        &self,
-        pairs: &[(NodeId, NodeId)],
-        graph: Option<&vicinity_graph::csr::CsrGraph>,
-    ) -> Vec<PathAnswer> {
-        let mut out = Vec::with_capacity(pairs.len());
-        for block in pairs.chunks(BATCH_BLOCK) {
-            for &(s, t) in block {
-                self.store.prefetch_header(s);
-                self.store.prefetch_header(t);
-            }
-            for &(s, t) in block {
-                self.store.prefetch_query_spans(s, t, true);
-                self.store.prefetch_query_spans(t, s, true);
-                self.prefetch_landmark_rows(s, t);
-            }
-            for &(s, t) in block {
-                out.push(self.path_inner(s, t, graph));
-            }
-        }
-        out
-    }
-
-    /// Stage-2 landmark-row hints for one pair: the case-1/2 rows (when an
-    /// endpoint is itself a landmark) and the nearest-landmark rows the
-    /// triangle-bound pruning reads. Each entry is one random access into
-    /// a dense row far larger than a cache line — exactly the loads worth
-    /// overlapping across a batch.
-    #[inline]
-    fn prefetch_landmark_rows(&self, s: NodeId, t: NodeId) {
-        if let Some(table) = self.landmark_table(s) {
-            table.prefetch_entry(t);
-        }
-        if let Some(table) = self.landmark_table(t) {
-            table.prefetch_entry(s);
-        }
-        for (u, other) in [(s, t), (t, s)] {
-            if let Some(landmark) = self.store.nearest_of(u) {
-                if let Some(table) = self.landmark_table(landmark) {
-                    table.prefetch_entry(other);
-                }
-            }
-        }
+        path_batch_on(self, Some(graph), pairs)
     }
 
     /// Exact shortest path between `s` and `t`, when the oracle can produce
@@ -455,7 +752,7 @@ impl VicinityOracle {
     /// which reconstruct the path by greedy descent and therefore need the
     /// graph; see [`VicinityOracle::path_with_graph`]).
     pub fn path(&self, s: NodeId, t: NodeId) -> PathAnswer {
-        self.path_inner(s, t, None)
+        path_on::<_, vicinity_graph::csr::CsrGraph>(self, None, s, t)
     }
 
     /// Like [`VicinityOracle::path`], but with access to the graph so that
@@ -467,118 +764,7 @@ impl VicinityOracle {
         s: NodeId,
         t: NodeId,
     ) -> PathAnswer {
-        self.path_inner(s, t, Some(graph))
-    }
-
-    fn path_inner(
-        &self,
-        s: NodeId,
-        t: NodeId,
-        graph: Option<&vicinity_graph::csr::CsrGraph>,
-    ) -> PathAnswer {
-        if !self.contains_node(s) || !self.contains_node(t) {
-            return PathAnswer::Miss;
-        }
-        if s == t {
-            return PathAnswer::Exact {
-                path: vec![s],
-                distance: 0,
-                method: AnswerMethod::SameNode,
-            };
-        }
-
-        // Landmark endpoints: need the graph for greedy descent. As with
-        // distance queries, a u16-saturated row entry means "connected but
-        // too far to store", which must surface as a miss — not a wrong
-        // "unreachable".
-        if let Some(table) = self.landmark_table(s) {
-            return match (graph, table.entry(t)) {
-                (_, crate::index::LandmarkEntry::Unreachable) => PathAnswer::Unreachable,
-                (Some(g), crate::index::LandmarkEntry::Exact(_)) => {
-                    match self.landmark_path(g, s, t) {
-                        Some(path) => PathAnswer::Exact {
-                            distance: (path.len() - 1) as Distance,
-                            path,
-                            method: AnswerMethod::SourceLandmark,
-                        },
-                        None => PathAnswer::Miss,
-                    }
-                }
-                _ => PathAnswer::Miss,
-            };
-        }
-        if let Some(table) = self.landmark_table(t) {
-            return match (graph, table.entry(s)) {
-                (_, crate::index::LandmarkEntry::Unreachable) => PathAnswer::Unreachable,
-                (Some(g), crate::index::LandmarkEntry::Exact(_)) => {
-                    match self.landmark_path(g, t, s) {
-                        Some(mut path) => {
-                            path.reverse();
-                            PathAnswer::Exact {
-                                distance: (path.len() - 1) as Distance,
-                                path,
-                                method: AnswerMethod::TargetLandmark,
-                            }
-                        }
-                        None => PathAnswer::Miss,
-                    }
-                }
-                _ => PathAnswer::Miss,
-            };
-        }
-
-        if !self.stores_paths() {
-            return PathAnswer::Miss;
-        }
-
-        let vs = self.vicinity(s).expect("checked in-range");
-        let vt = self.vicinity(t).expect("checked in-range");
-
-        // t ∈ Γ(s): chase predecessors inside Γ(s).
-        if let Some(path) = vs.path_to(t) {
-            return PathAnswer::Exact {
-                distance: (path.len() - 1) as Distance,
-                path,
-                method: AnswerMethod::TargetInSourceVicinity,
-            };
-        }
-        // s ∈ Γ(t): chase predecessors inside Γ(t) and reverse.
-        if let Some(mut path) = vt.path_to(s) {
-            path.reverse();
-            return PathAnswer::Exact {
-                distance: (path.len() - 1) as Distance,
-                path,
-                method: AnswerMethod::SourceInTargetVicinity,
-            };
-        }
-
-        // Vicinity intersection: find the witness minimising the sum, then
-        // splice the two half-paths at the witness.
-        let (scan, probe, scanning_source) = if vs.boundary_len() <= vt.boundary_len() {
-            (vs, vt, true)
-        } else {
-            (vt, vs, false)
-        };
-        let (best, _scanned, _witnesses) = scan.min_boundary_sum(&probe);
-        let Some((distance, witness)) = best else {
-            return PathAnswer::Miss;
-        };
-        let (path_from_s, path_from_t) = if scanning_source {
-            (scan.path_to(witness), probe.path_to(witness))
-        } else {
-            (probe.path_to(witness), scan.path_to(witness))
-        };
-        let (Some(mut path_from_s), Some(path_from_t)) = (path_from_s, path_from_t) else {
-            return PathAnswer::Miss;
-        };
-        // path_from_s = s..=witness ; path_from_t = t..=witness. Append the
-        // reversed target half without repeating the witness.
-        path_from_s.extend(path_from_t.into_iter().rev().skip(1));
-        PathAnswer::Exact {
-            distance,
-            path: path_from_s,
-            method: AnswerMethod::VicinityIntersection,
-        }
+        path_on(self, Some(graph), s, t)
     }
 }
 

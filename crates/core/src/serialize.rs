@@ -243,7 +243,7 @@ struct DecodedHeader {
     node_count: usize,
     edge_count: usize,
     landmarks: LandmarkSet,
-    landmark_tables: vicinity_graph::fast_hash::FastMap<NodeId, LandmarkTable>,
+    landmark_tables: vicinity_graph::fast_hash::FastMap<NodeId, std::sync::Arc<LandmarkTable>>,
 }
 
 /// Decode the shared header. `bulk` selects the v2 whole-section reads;
@@ -307,7 +307,7 @@ fn decode_header(cur: &mut &[u8], bulk: bool) -> Result<DecodedHeader> {
         }
         const PARALLEL_MIN: usize = 4 << 20;
         let threads = crate::parallel::resolve_worker_threads(0, payload_bytes / PARALLEL_MIN);
-        let convert = |group: &[(NodeId, &[u8])]| -> Vec<(NodeId, LandmarkTable)> {
+        let convert = |group: &[(NodeId, &[u8])]| -> Vec<(NodeId, std::sync::Arc<LandmarkTable>)> {
             group
                 .iter()
                 .map(|&(l, payload)| {
@@ -315,7 +315,7 @@ fn decode_header(cur: &mut &[u8], bulk: bool) -> Result<DecodedHeader> {
                         .chunks_exact(2)
                         .map(|c| u16::from_le_bytes(c.try_into().expect("2-byte chunk")))
                         .collect();
-                    (l, LandmarkTable::from_raw(row))
+                    (l, std::sync::Arc::new(LandmarkTable::from_raw(row)))
                 })
                 .collect()
         };
@@ -343,7 +343,7 @@ fn decode_header(cur: &mut &[u8], bulk: bool) -> Result<DecodedHeader> {
             for _ in 0..len {
                 row.push(cur.get_u16_le());
             }
-            landmark_tables.insert(l, LandmarkTable::from_raw(row));
+            landmark_tables.insert(l, std::sync::Arc::new(LandmarkTable::from_raw(row)));
         }
     }
 
@@ -815,9 +815,10 @@ mod tests {
         let mut saturated: Vec<Distance> = (0..n as Distance).collect();
         saturated[1.min(n - 1)] = 70_000; // saturates the u16 row
         saturated[2.min(n - 1)] = vicinity_graph::INFINITY; // unreachable
-        oracle
-            .landmark_tables
-            .insert(landmark, LandmarkTable::from_distances(&saturated));
+        oracle.landmark_tables.insert(
+            landmark,
+            std::sync::Arc::new(LandmarkTable::from_distances(&saturated)),
+        );
         for bytes in [encode(&oracle), encode_v1(&oracle)] {
             let decoded = decode(&bytes).unwrap();
             assert_eq!(oracle, decoded);

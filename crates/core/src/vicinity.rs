@@ -36,14 +36,13 @@
 //! `min_boundary_sum`) the per-node objects used to expose.
 
 use vicinity_graph::algo::bfs::BoundedBfsScratch;
-use vicinity_graph::csr::CsrGraph;
-use vicinity_graph::{Distance, NodeId, INVALID_NODE};
+use vicinity_graph::{Adjacency, Distance, NodeId, INVALID_NODE};
 
 use crate::config::TableBackend;
 use crate::prefetch::{prefetch_read, prefetch_slice};
 
 #[inline]
-fn hash_id(v: NodeId) -> usize {
+pub(crate) fn hash_id(v: NodeId) -> usize {
     // The FxHash mixing the per-node hash maps used to apply; the high
     // half carries the entropy, which is what the power-of-two slot
     // masks consume.
@@ -54,7 +53,7 @@ fn hash_id(v: NodeId) -> usize {
 /// next power of two at or above `2·len`, capping the load factor at 50 %
 /// so linear probes stay short.
 #[inline]
-fn slot_count(len: usize) -> usize {
+pub(crate) fn slot_count(len: usize) -> usize {
     if len == 0 {
         0
     } else {
@@ -678,6 +677,72 @@ impl PartialEq for VicinityRef<'_> {
 }
 
 impl<'a> VicinityRef<'a> {
+    /// Assemble a view from raw section slices — the constructor used by
+    /// the delta overlay in [`crate::dynamic`] to serve patched vicinities
+    /// through the exact probe API the frozen store exposes.
+    /// `nearest_landmark` uses the header encoding (`INVALID_NODE` = none).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        owner: NodeId,
+        radius: Distance,
+        nearest_landmark: NodeId,
+        members: &'a [NodeId],
+        distances: &'a [Distance],
+        predecessors: &'a [NodeId],
+        boundary: &'a [u32],
+        shell_offsets: &'a [u32],
+        shell_data: &'a [NodeId],
+        hash_slots: &'a [u32],
+    ) -> Self {
+        VicinityRef {
+            owner,
+            radius,
+            nearest_landmark,
+            members,
+            distances,
+            predecessors,
+            boundary,
+            shell_offsets,
+            shell_data,
+            hash_slots,
+        }
+    }
+
+    /// Header encoding of the nearest landmark (`INVALID_NODE` = none).
+    pub(crate) fn raw_nearest(&self) -> NodeId {
+        self.nearest_landmark
+    }
+
+    /// Raw distance span, parallel to [`VicinityRef::members`].
+    pub(crate) fn raw_distances(&self) -> &'a [Distance] {
+        self.distances
+    }
+
+    /// Raw predecessor span (empty when paths are not stored).
+    pub(crate) fn raw_predecessors(&self) -> &'a [NodeId] {
+        self.predecessors
+    }
+
+    /// Raw span-local boundary indices.
+    pub(crate) fn raw_boundary(&self) -> &'a [u32] {
+        self.boundary
+    }
+
+    /// Raw per-level shell offsets.
+    pub(crate) fn raw_shell_offsets(&self) -> &'a [u32] {
+        self.shell_offsets
+    }
+
+    /// Raw shell-grouped member ids.
+    pub(crate) fn raw_shell_data(&self) -> &'a [NodeId] {
+        self.shell_data
+    }
+
+    /// Raw membership slots (empty under the sorted-array backend).
+    pub(crate) fn raw_hash_slots(&self) -> &'a [u32] {
+        self.hash_slots
+    }
+
     /// The node this vicinity belongs to.
     pub fn owner(&self) -> NodeId {
         self.owner
@@ -1013,9 +1078,9 @@ impl VicinityChunk {
     /// degenerate inputs). One bounded BFS through the shared scratch; the
     /// boundary is computed by binary searches over the freshly appended,
     /// id-sorted member span.
-    pub fn push_node(
+    pub fn push_node<G: Adjacency>(
         &mut self,
-        graph: &CsrGraph,
+        graph: &G,
         radius: Option<Distance>,
         nearest_landmark: Option<NodeId>,
         scratch: &mut BoundedBfsScratch,
@@ -1034,35 +1099,61 @@ impl VicinityChunk {
         // the hop bound so the BFS terminates naturally).
         let effective_radius = radius.unwrap_or_else(|| graph.hop_bound());
         let visited = scratch.bounded_bfs(graph, owner, effective_radius);
-
-        let mut entries: Vec<(NodeId, Distance, NodeId)> = visited
-            .iter()
-            .map(|v| (v.node, v.distance, v.parent))
-            .collect();
-        entries.sort_unstable_by_key(|&(node, _, _)| node);
-
-        let base = self.members.len();
-        for &(node, distance, parent) in &entries {
-            self.members.push(node);
-            self.distances.push(distance);
-            if self.store_paths {
-                self.predecessors.push(parent);
-            }
-        }
-        let span = &self.members[base..];
-        for (local, &(member, _, _)) in entries.iter().enumerate() {
-            let escapes = graph
-                .neighbors(member)
-                .iter()
-                .any(|&w| span.binary_search(&w).is_err());
-            if escapes {
-                self.boundary.push(local as u32);
-            }
-        }
+        append_vicinity_sections(
+            graph,
+            &visited,
+            self.store_paths,
+            &mut self.members,
+            &mut self.distances,
+            &mut self.predecessors,
+            &mut self.boundary,
+        );
         self.radii.push(effective_radius);
         self.nearest.push(nearest);
         self.offsets.push(self.members.len() as u64);
         self.boundary_offsets.push(self.boundary.len() as u64);
+    }
+}
+
+/// Assemble one vicinity's primary sections from its bounded-BFS visit
+/// list, appending to the given pools: id-sorted members and distances
+/// (plus BFS parents when `store_paths`), and span-local boundary indices
+/// (members with at least one neighbour outside the span). Shared by the
+/// offline chunk builder ([`VicinityChunk::push_node`]) and the dynamic
+/// overlay's per-node rebuild ([`crate::dynamic`]), so a patched span is
+/// assembled by the same code path — bit for bit — as a rebuilt one.
+pub(crate) fn append_vicinity_sections<G: Adjacency>(
+    graph: &G,
+    visited: &[vicinity_graph::algo::bfs::VisitedNode],
+    store_paths: bool,
+    members: &mut Vec<NodeId>,
+    distances: &mut Vec<Distance>,
+    predecessors: &mut Vec<NodeId>,
+    boundary: &mut Vec<u32>,
+) {
+    let mut entries: Vec<(NodeId, Distance, NodeId)> = visited
+        .iter()
+        .map(|v| (v.node, v.distance, v.parent))
+        .collect();
+    entries.sort_unstable_by_key(|&(node, _, _)| node);
+
+    let base = members.len();
+    for &(node, distance, parent) in &entries {
+        members.push(node);
+        distances.push(distance);
+        if store_paths {
+            predecessors.push(parent);
+        }
+    }
+    let span = &members[base..];
+    for (local, &(member, _, _)) in entries.iter().enumerate() {
+        let escapes = graph
+            .neighbors(member)
+            .iter()
+            .any(|&w| span.binary_search(&w).is_err());
+        if escapes {
+            boundary.push(local as u32);
+        }
     }
 }
 
@@ -1128,27 +1219,49 @@ fn shells_for_range(
             index.push(pool.len() as u64);
             continue;
         }
-        let span_distances = &distances[start..end];
-        let levels = span_distances.iter().copied().max().unwrap_or(0) as usize + 1;
-        counts.clear();
-        counts.resize(levels + 1, 0);
-        for &d in span_distances {
-            counts[d as usize + 1] += 1;
-        }
-        for level in 0..levels {
-            counts[level + 1] += counts[level];
-        }
-        pool.extend_from_slice(&counts);
-        // `counts` now holds the level offsets; reuse it as the
-        // counting-sort cursors (it is rebuilt for the next node).
-        for (local, &d) in span_distances.iter().enumerate() {
-            let slot = counts[d as usize] as usize;
-            out[start - base + slot] = members[start + local];
-            counts[d as usize] += 1;
-        }
+        node_shell_sections(
+            &members[start..end],
+            &distances[start..end],
+            &mut counts,
+            &mut pool,
+            &mut out[start - base..end - base],
+        );
         index.push(pool.len() as u64);
     }
     (pool, index)
+}
+
+/// Counting-sort one (non-empty) node span into its shell order: append the
+/// span-local level offsets (one per populated level `0..=max` plus a
+/// trailing end) to `pool` and write the grouped member ids into `out`,
+/// which must be exactly the node's `shell_data` window. `counts` is
+/// reusable scratch. Shared by the store-wide rebuild above and the
+/// per-node overlay construction in [`crate::dynamic`], so the derived
+/// sections of a patched vicinity cannot drift from the frozen layout.
+pub(crate) fn node_shell_sections(
+    members: &[NodeId],
+    distances: &[Distance],
+    counts: &mut Vec<u32>,
+    pool: &mut Vec<u32>,
+    out: &mut [NodeId],
+) {
+    let levels = distances.iter().copied().max().unwrap_or(0) as usize + 1;
+    counts.clear();
+    counts.resize(levels + 1, 0);
+    for &d in distances {
+        counts[d as usize + 1] += 1;
+    }
+    for level in 0..levels {
+        counts[level + 1] += counts[level];
+    }
+    pool.extend_from_slice(counts);
+    // `counts` now holds the level offsets; reuse it as the counting-sort
+    // cursors (it is rebuilt for the next span).
+    for (local, &d) in distances.iter().enumerate() {
+        let slot = counts[d as usize] as usize;
+        out[slot] = members[local];
+        counts[d as usize] += 1;
+    }
 }
 
 /// Fill the flat membership slots of nodes `range` inside `out` (the
@@ -1171,15 +1284,22 @@ fn hash_slots_for_range(
         if slot_start == slot_end {
             continue;
         }
-        let span = &mut out[slot_start..slot_end];
-        let mask = span.len() - 1;
-        for (local, &member) in members[start..end].iter().enumerate() {
-            let mut i = hash_id(member) & mask;
-            while span[i] != 0 {
-                i = (i + 1) & mask;
-            }
-            span[i] = local as u32 + 1;
+        fill_hash_slots(&members[start..end], &mut out[slot_start..slot_end]);
+    }
+}
+
+/// Fill one node's power-of-two open-addressing slot span (zeroed on entry)
+/// from its member list: each slot holds `local_index + 1`, 0 meaning
+/// empty, linear probing from the FxHash mix. Shared with the overlay
+/// construction in [`crate::dynamic`].
+pub(crate) fn fill_hash_slots(members: &[NodeId], span: &mut [u32]) {
+    let mask = span.len() - 1;
+    for (local, &member) in members.iter().enumerate() {
+        let mut i = hash_id(member) & mask;
+        while span[i] != 0 {
+            i = (i + 1) & mask;
         }
+        span[i] = local as u32 + 1;
     }
 }
 
@@ -1295,6 +1415,7 @@ mod tests {
     use super::*;
     use vicinity_graph::algo::bfs::bfs_distances;
     use vicinity_graph::builder::GraphBuilder;
+    use vicinity_graph::csr::CsrGraph;
     use vicinity_graph::generators::{classic, social::SocialGraphConfig};
 
     /// Build a store where every node uses the same fixed radius and

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use crate::csr::CsrGraph;
-use crate::{Distance, NodeId, INFINITY, INVALID_NODE};
+use crate::{Adjacency, Distance, NodeId, INFINITY, INVALID_NODE};
 
 /// Result of a full single-source BFS: distances and BFS-tree parents.
 #[derive(Debug, Clone)]
@@ -190,9 +190,11 @@ impl BoundedBfsScratch {
     /// Equivalent of [`bounded_bfs`] — visits exactly the nodes at distance
     /// `<= radius` from `source`, in non-decreasing distance order — but
     /// reusing this scratch, so repeated calls do not rehash or reallocate.
-    pub fn bounded_bfs(
+    /// Generic over [`Adjacency`] so dynamic graph overlays can rebuild
+    /// vicinities through the same traversal as the frozen builders.
+    pub fn bounded_bfs<G: Adjacency>(
         &mut self,
-        graph: &CsrGraph,
+        graph: &G,
         source: NodeId,
         radius: Distance,
     ) -> Vec<VisitedNode> {

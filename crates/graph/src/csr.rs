@@ -5,7 +5,7 @@
 //! of nodes. CSR gives both as contiguous slice accesses with no pointer
 //! chasing, which is what the paper's "optimised implementation" relies on.
 
-use crate::{Distance, GraphError, NodeId, Result};
+use crate::{Adjacency, Distance, GraphError, NodeId, Result};
 
 /// An immutable undirected (or directed) graph in compressed sparse row form.
 ///
@@ -189,6 +189,18 @@ impl CsrGraph {
     /// `n - 1` hops. Useful as a finite "effectively infinite" bound.
     pub fn hop_bound(&self) -> Distance {
         self.node_count().saturating_sub(1) as Distance
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        CsrGraph::neighbors(self, u)
     }
 }
 

@@ -57,6 +57,30 @@ pub const INFINITY: Distance = Distance::MAX;
 /// Sentinel node id meaning "no node".
 pub const INVALID_NODE: NodeId = NodeId::MAX;
 
+/// Read-only adjacency access — the minimal graph surface the traversal
+/// algorithms need.
+///
+/// [`csr::CsrGraph`] is the canonical (frozen) implementation; dynamic
+/// overlays that patch a frozen graph's adjacency lists in memory implement
+/// the same trait so BFS scratches and fallback searches run unchanged on
+/// either. Implementations must present each node's neighbours as a slice
+/// (traversals rely on slice iteration being allocation-free) and should
+/// keep the lists sorted by node id, matching what the canonical builder
+/// produces, so traversal tie-breaking is representation-independent.
+pub trait Adjacency {
+    /// Number of nodes; ids are dense in `0..node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// Neighbours of `u` as a slice. May panic when `u` is out of range
+    /// (callers bounds-check through [`Adjacency::node_count`]).
+    fn neighbors(&self, u: NodeId) -> &[NodeId];
+
+    /// A finite upper bound on any shortest-path length: `n - 1` hops.
+    fn hop_bound(&self) -> Distance {
+        self.node_count().saturating_sub(1) as Distance
+    }
+}
+
 /// Errors produced by the graph substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {

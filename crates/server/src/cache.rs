@@ -11,7 +11,21 @@
 //! The cache is split into independently locked shards to keep worker
 //! threads from serialising on one lock; each shard is a classic
 //! doubly-linked-list LRU over a slab, so hits and insertions are O(1) and
-//! the capacity bound is exact.
+//! the capacity bound is exact: the configured capacity is honoured in
+//! full, no matter how large (construction merely caps its *preallocation*
+//! at [`PREALLOC_ENTRIES`] entries per shard so absurd configurations
+//! cannot OOM up front — the slab still grows lazily to the full
+//! capacity).
+//!
+//! ## Epochs
+//!
+//! Under dynamic edge updates a cached answer is only valid for the oracle
+//! version that produced it. Every entry is therefore stamped with the
+//! **epoch** the inserting session observed, and [`QueryCache::get`] takes
+//! the reading session's epoch: an entry from any other epoch is treated
+//! as a miss (and lazily overwritten by the next insert), so a reader on
+//! the post-update epoch can never be served a pre-update answer. Static
+//! services pass epoch 0 everywhere and behave exactly as before.
 //!
 //! ## Contention
 //!
@@ -37,6 +51,11 @@ use vicinity_graph::{Distance, NodeId};
 
 /// Sentinel stored for "provably unreachable".
 const UNREACHABLE: u32 = u32::MAX;
+
+/// Per-shard preallocation cap (entries). This bounds only the upfront
+/// `with_capacity` reservations; the logical capacity is honoured exactly
+/// (shards grow past this lazily).
+const PREALLOC_ENTRIES: usize = 1 << 20;
 
 /// Slab index meaning "none".
 const NIL: u32 = u32::MAX;
@@ -76,6 +95,8 @@ impl CachedAnswer {
 struct Node {
     key: u64,
     value: u32,
+    /// Oracle epoch the value was computed under.
+    epoch: u64,
     prev: u32,
     next: u32,
 }
@@ -92,8 +113,8 @@ struct Shard {
 impl Shard {
     fn new(capacity: usize) -> Self {
         Shard {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
-            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            map: HashMap::with_capacity(capacity.min(PREALLOC_ENTRIES)),
+            nodes: Vec::with_capacity(capacity.min(PREALLOC_ENTRIES)),
             head: NIL,
             tail: NIL,
             capacity,
@@ -132,16 +153,24 @@ impl Shard {
         self.head = idx;
     }
 
-    /// Non-mutating probe: the value, plus whether the entry is already
-    /// the MRU (in which case a hit needs no recency update and the read
-    /// lock suffices).
-    fn peek(&self, key: u64) -> Option<(u32, bool)> {
+    /// Non-mutating probe: the value (`None` when absent or stamped with a
+    /// different epoch), plus whether the entry is already the MRU (in
+    /// which case a hit needs no recency update and the read lock
+    /// suffices).
+    fn peek(&self, key: u64, epoch: u64) -> Option<(u32, bool)> {
         let idx = *self.map.get(&key)?;
-        Some((self.nodes[idx as usize].value, self.head == idx))
+        let node = &self.nodes[idx as usize];
+        if node.epoch != epoch {
+            return None;
+        }
+        Some((node.value, self.head == idx))
     }
 
-    fn get(&mut self, key: u64) -> Option<u32> {
+    fn get(&mut self, key: u64, epoch: u64) -> Option<u32> {
         let idx = *self.map.get(&key)?;
+        if self.nodes[idx as usize].epoch != epoch {
+            return None;
+        }
         if self.head != idx {
             self.unlink(idx);
             self.push_front(idx);
@@ -149,9 +178,11 @@ impl Shard {
         Some(self.nodes[idx as usize].value)
     }
 
-    fn insert(&mut self, key: u64, value: u32) {
+    fn insert(&mut self, key: u64, value: u32, epoch: u64) {
         if let Some(&idx) = self.map.get(&key) {
-            self.nodes[idx as usize].value = value;
+            let node = &mut self.nodes[idx as usize];
+            node.value = value;
+            node.epoch = epoch;
             if self.head != idx {
                 self.unlink(idx);
                 self.push_front(idx);
@@ -162,6 +193,7 @@ impl Shard {
             self.nodes.push(Node {
                 key,
                 value,
+                epoch,
                 prev: NIL,
                 next: NIL,
             });
@@ -178,6 +210,7 @@ impl Shard {
             let old_key = node.key;
             node.key = key;
             node.value = value;
+            node.epoch = epoch;
             self.map.remove(&old_key);
             idx
         };
@@ -231,22 +264,25 @@ impl QueryCache {
         &self.shards[(h & self.shard_mask) as usize]
     }
 
-    /// Look up the answer for `(s, t)`, refreshing its recency on a hit.
+    /// Look up the answer for `(s, t)` as observed under oracle `epoch`,
+    /// refreshing its recency on a hit. Entries stamped with a different
+    /// epoch are misses: after an edge update bumps the epoch, no reader
+    /// on the new version can be served a stale answer.
     ///
     /// Fast path: a shared read lock suffices for misses and for hits on
     /// the shard's MRU entry (the common case under skewed traffic). Only
     /// a hit on a colder entry upgrades to the write lock to splice the
     /// recency list — see the module-level contention note.
-    pub fn get(&self, s: NodeId, t: NodeId) -> Option<CachedAnswer> {
+    pub fn get(&self, s: NodeId, t: NodeId, epoch: u64) -> Option<CachedAnswer> {
         let key = Self::key(s, t);
         let shard = self.shard_of(key);
-        let peeked = shard.read().expect("cache shard poisoned").peek(key);
+        let peeked = shard.read().expect("cache shard poisoned").peek(key, epoch);
         let found = match peeked {
             Some((raw, true)) => Some(raw),
             Some((_, false)) => {
                 // Re-probe under the write lock: the entry may have moved
                 // or been evicted between the two acquisitions.
-                shard.write().expect("cache shard poisoned").get(key)
+                shard.write().expect("cache shard poisoned").get(key, epoch)
             }
             None => None,
         };
@@ -262,14 +298,16 @@ impl QueryCache {
         }
     }
 
-    /// Store a definitive answer for `(s, t)`, evicting the least recently
-    /// used entry of the shard when full.
-    pub fn insert(&self, s: NodeId, t: NodeId, answer: CachedAnswer) {
+    /// Store a definitive answer for `(s, t)` computed under oracle
+    /// `epoch`, evicting the least recently used entry of the shard when
+    /// full (stale-epoch entries are reclaimed the same way, by overwrite
+    /// or eviction).
+    pub fn insert(&self, s: NodeId, t: NodeId, epoch: u64, answer: CachedAnswer) {
         let key = Self::key(s, t);
         self.shard_of(key)
             .write()
             .expect("cache shard poisoned")
-            .insert(key, answer.encode());
+            .insert(key, answer.encode(), epoch);
     }
 
     /// Number of cached answers across all shards.
@@ -310,11 +348,11 @@ mod tests {
     #[test]
     fn get_after_insert_round_trips() {
         let cache = QueryCache::new(64, 4);
-        assert!(cache.get(1, 2).is_none());
-        cache.insert(1, 2, CachedAnswer::Exact(5));
-        cache.insert(8, 3, CachedAnswer::Unreachable);
-        assert_eq!(cache.get(2, 1), Some(CachedAnswer::Exact(5)));
-        assert_eq!(cache.get(3, 8), Some(CachedAnswer::Unreachable));
+        assert!(cache.get(1, 2, 0).is_none());
+        cache.insert(1, 2, 0, CachedAnswer::Exact(5));
+        cache.insert(8, 3, 0, CachedAnswer::Unreachable);
+        assert_eq!(cache.get(2, 1, 0), Some(CachedAnswer::Exact(5)));
+        assert_eq!(cache.get(3, 8, 0), Some(CachedAnswer::Unreachable));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 1);
@@ -324,36 +362,36 @@ mod tests {
     fn capacity_bound_is_exact_and_lru_order_respected() {
         // One shard of capacity 3 so eviction order is fully observable.
         let cache = QueryCache::new(3, 1);
-        cache.insert(0, 1, CachedAnswer::Exact(1));
-        cache.insert(0, 2, CachedAnswer::Exact(2));
-        cache.insert(0, 3, CachedAnswer::Exact(3));
+        cache.insert(0, 1, 0, CachedAnswer::Exact(1));
+        cache.insert(0, 2, 0, CachedAnswer::Exact(2));
+        cache.insert(0, 3, 0, CachedAnswer::Exact(3));
         // Touch (0,1) so (0,2) becomes the LRU entry.
-        assert!(cache.get(0, 1).is_some());
-        cache.insert(0, 4, CachedAnswer::Exact(4));
+        assert!(cache.get(0, 1, 0).is_some());
+        cache.insert(0, 4, 0, CachedAnswer::Exact(4));
         assert_eq!(cache.len(), 3);
         assert!(
-            cache.get(0, 2).is_none(),
+            cache.get(0, 2, 0).is_none(),
             "LRU entry must have been evicted"
         );
-        assert!(cache.get(0, 1).is_some());
-        assert!(cache.get(0, 3).is_some());
-        assert!(cache.get(0, 4).is_some());
+        assert!(cache.get(0, 1, 0).is_some());
+        assert!(cache.get(0, 3, 0).is_some());
+        assert!(cache.get(0, 4, 0).is_some());
     }
 
     #[test]
     fn reinsert_updates_value_without_growing() {
         let cache = QueryCache::new(2, 1);
-        cache.insert(1, 2, CachedAnswer::Exact(9));
-        cache.insert(1, 2, CachedAnswer::Exact(7));
+        cache.insert(1, 2, 0, CachedAnswer::Exact(9));
+        cache.insert(1, 2, 0, CachedAnswer::Exact(7));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.get(1, 2), Some(CachedAnswer::Exact(7)));
+        assert_eq!(cache.get(1, 2, 0), Some(CachedAnswer::Exact(7)));
     }
 
     #[test]
     fn heavy_churn_stays_bounded() {
         let cache = QueryCache::new(100, 8);
         for i in 0..10_000u32 {
-            cache.insert(i, i + 1, CachedAnswer::Exact(i % 50));
+            cache.insert(i, i + 1, 0, CachedAnswer::Exact(i % 50));
         }
         assert!(
             cache.len() <= 128,
@@ -361,6 +399,48 @@ mod tests {
             cache.len()
         );
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_above_prealloc_clamp_is_honored() {
+        // Regression: construction caps only its *preallocation* at 2^20
+        // entries per shard; the configured logical capacity must be
+        // honoured in full. A single shard configured above the clamp has
+        // to hold more than 2^20 live entries without evicting.
+        let over = (1usize << 20) + 4;
+        let cache = QueryCache::new(over, 1);
+        for i in 0..over as u32 {
+            cache.insert(i, i + 1, 0, CachedAnswer::Exact(i % 100));
+        }
+        assert_eq!(
+            cache.len(),
+            over,
+            "no eviction may occur below the configured capacity"
+        );
+        assert_eq!(
+            cache.get(0, 1, 0),
+            Some(CachedAnswer::Exact(0)),
+            "the first entry must still be resident"
+        );
+        // One insert beyond capacity evicts exactly one entry.
+        cache.insert(u32::MAX - 2, u32::MAX - 1, 0, CachedAnswer::Exact(7));
+        assert_eq!(cache.len(), over);
+    }
+
+    #[test]
+    fn epoch_mismatch_is_a_miss_and_reinsert_restamps() {
+        let cache = QueryCache::new(16, 1);
+        cache.insert(1, 2, 0, CachedAnswer::Exact(5));
+        assert_eq!(cache.get(1, 2, 0), Some(CachedAnswer::Exact(5)));
+        // After an oracle update the reader's epoch moves on: the stale
+        // entry must not be served (in either direction of skew).
+        assert_eq!(cache.get(1, 2, 1), None);
+        assert_eq!(cache.get(1, 2, 0), Some(CachedAnswer::Exact(5)));
+        // Reinserting under the new epoch replaces the stamp in place.
+        cache.insert(1, 2, 1, CachedAnswer::Exact(4));
+        assert_eq!(cache.get(1, 2, 1), Some(CachedAnswer::Exact(4)));
+        assert_eq!(cache.get(1, 2, 0), None);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -373,8 +453,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..2_000u32 {
                         let s = worker * 1_000 + (i % 500);
-                        cache.insert(s, s + 1, CachedAnswer::Exact(i % 30));
-                        let _ = cache.get(s, s + 1);
+                        cache.insert(s, s + 1, 0, CachedAnswer::Exact(i % 30));
+                        let _ = cache.get(s, s + 1, 0);
                     }
                 });
             }

@@ -56,7 +56,7 @@ pub mod session;
 pub mod stats;
 
 pub use cache::{CachedAnswer, QueryCache};
-pub use service::{QueryService, QueryServiceBuilder, ServerError};
+pub use service::{OracleWriter, QueryService, QueryServiceBuilder, ServerError};
 pub use session::{ServedAnswer, WorkerSession};
 pub use stats::{LatencyHistogram, ServedMethod, ServerStats};
 
@@ -72,4 +72,6 @@ const _: () = {
     assert_send_sync::<QueryCache>();
     assert_send_sync::<ServerStats>();
     assert_send::<WorkerSession>();
+    // The writer must be movable to a dedicated update thread.
+    assert_send::<OracleWriter>();
 };

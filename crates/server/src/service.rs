@@ -1,15 +1,17 @@
-//! The [`QueryService`]: one immutable oracle build shared by N workers.
+//! The [`QueryService`]: one oracle version shared by N workers, swapped
+//! atomically by epoch when edge updates apply.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use vicinity_core::dynamic::{DynamicOracle, UpdateError};
 use vicinity_core::index::VicinityOracle;
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::NodeId;
 
 use crate::cache::QueryCache;
-use crate::session::{ServedAnswer, SharedState, WorkerSession};
+use crate::session::{Epoch, ServedAnswer, SharedState, WorkerSession};
 use crate::stats::{ServedMethod, ServerStats};
 
 /// Errors raised when assembling a [`QueryService`].
@@ -101,8 +103,43 @@ impl QueryServiceBuilder {
         self
     }
 
-    /// Assemble the service, verifying the oracle and graph agree.
+    /// Assemble the service, verifying the oracle and graph agree. The
+    /// service serves this one frozen oracle version forever (epoch 0);
+    /// use [`QueryServiceBuilder::build_updatable`] for live edge updates.
     pub fn build(self) -> Result<QueryService, ServerError> {
+        let (service, _) = self.build_inner(None)?;
+        Ok(service)
+    }
+
+    /// Assemble an *updatable* service: returns the service plus an
+    /// [`OracleWriter`] owning a [`DynamicOracle`] over the same oracle
+    /// and graph. Edge updates applied through the writer (typically from
+    /// a dedicated writer thread) publish a new epoch that every worker
+    /// session picks up at its next block; epoch-stamped result-cache
+    /// entries from older versions stop being served the moment the new
+    /// epoch is observed.
+    pub fn build_updatable(self) -> Result<(QueryService, OracleWriter), ServerError> {
+        let dynamic = DynamicOracle::new(Arc::clone(&self.oracle), Arc::clone(&self.graph))
+            .map_err(|e| match e {
+                UpdateError::GraphMismatch {
+                    oracle_nodes,
+                    graph_nodes,
+                } => ServerError::GraphMismatch {
+                    oracle_nodes,
+                    graph_nodes,
+                },
+                other => unreachable!("construction can only fail on mismatch: {other}"),
+            })?;
+        let (service, epoch) = self.build_inner(Some(&dynamic))?;
+        let writer = OracleWriter { dynamic, epoch };
+        Ok((service, writer))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build_inner(
+        self,
+        dynamic: Option<&DynamicOracle>,
+    ) -> Result<(QueryService, Arc<RwLock<Arc<Epoch>>>), ServerError> {
         if self.oracle.node_count() != self.graph.node_count() {
             return Err(ServerError::GraphMismatch {
                 oracle_nodes: self.oracle.node_count(),
@@ -111,18 +148,89 @@ impl QueryServiceBuilder {
         }
         let cache = (self.cache_capacity > 0)
             .then(|| Arc::new(QueryCache::new(self.cache_capacity, self.cache_shards)));
-        Ok(QueryService {
+        let initial = match dynamic {
+            Some(dynamic) => Epoch::dynamic(dynamic.snapshot()),
+            None => Epoch::frozen(Arc::clone(&self.oracle), Arc::clone(&self.graph)),
+        };
+        let epoch = Arc::new(RwLock::new(initial));
+        let service = QueryService {
             shared: SharedState {
-                oracle: self.oracle,
-                graph: self.graph,
+                epoch: Arc::clone(&epoch),
                 cache,
                 fallback: self.fallback,
                 record_latency: self.record_latency,
                 aggregate: Arc::new(Mutex::new(ServerStats::default())),
                 scratch_pool: Arc::new(Mutex::new(Vec::new())),
             },
+            oracle: self.oracle,
+            graph: self.graph,
             threads: self.threads,
-        })
+        };
+        Ok((service, epoch))
+    }
+}
+
+/// The single-writer handle of an updatable [`QueryService`]: owns the
+/// [`DynamicOracle`] and the right to publish epochs. Move it to a writer
+/// thread; readers keep serving concurrently and adopt each published
+/// version at their next block boundary.
+///
+/// Publishing order guarantees: an update is fully applied to the dynamic
+/// oracle *before* its snapshot is published, and cache entries are
+/// validated against the reading session's epoch — so no session observing
+/// epoch `E` can ever be served an answer computed (or cached) under an
+/// earlier epoch.
+pub struct OracleWriter {
+    dynamic: DynamicOracle,
+    epoch: Arc<RwLock<Arc<Epoch>>>,
+}
+
+impl OracleWriter {
+    /// Insert the undirected edge `{a, b}` and, if it was applied, publish
+    /// the new oracle version to the service. Returns whether the edge was
+    /// actually inserted (`Ok(false)` = already present, nothing
+    /// published).
+    pub fn insert_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, UpdateError> {
+        let applied = self.dynamic.insert_edge(a, b)?;
+        if applied {
+            self.publish();
+        }
+        Ok(applied)
+    }
+
+    /// Remove the undirected edge `{a, b}` and, if it was applied, publish
+    /// the new oracle version to the service.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, UpdateError> {
+        let applied = self.dynamic.remove_edge(a, b)?;
+        if applied {
+            self.publish();
+        }
+        Ok(applied)
+    }
+
+    /// Fold the overlay into a fresh frozen base and publish the compacted
+    /// version. Answers (and the epoch id, hence cached entries) are
+    /// unchanged; subsequent snapshots get cheaper.
+    pub fn compact(&mut self) {
+        self.dynamic.compact();
+        self.publish();
+    }
+
+    /// Publish the writer's current state as the service's epoch.
+    fn publish(&mut self) {
+        let snapshot = self.dynamic.snapshot();
+        *self.epoch.write().expect("epoch slot poisoned") = Epoch::dynamic(snapshot);
+    }
+
+    /// The wrapped dynamic oracle (e.g. for direct queries on the writer
+    /// thread or overlay introspection).
+    pub fn oracle(&self) -> &DynamicOracle {
+        &self.dynamic
+    }
+
+    /// The epoch id readers currently observe from this writer's updates.
+    pub fn version(&self) -> u64 {
+        self.dynamic.version()
     }
 }
 
@@ -156,13 +264,20 @@ impl QueryServiceBuilder {
 /// ```
 pub struct QueryService {
     shared: SharedState,
+    /// Construction-time handles, kept for [`QueryService::oracle`] /
+    /// [`QueryService::graph`]. For an updatable service these are the
+    /// *initial* base; the currently served version lives in the epoch
+    /// slot.
+    oracle: Arc<VicinityOracle>,
+    graph: Arc<CsrGraph>,
     threads: usize,
 }
 
 impl std::fmt::Debug for QueryService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryService")
-            .field("nodes", &self.shared.oracle.node_count())
+            .field("nodes", &self.oracle.node_count())
+            .field("epoch", &self.epoch_id())
             .field("threads", &self.threads)
             .field("cache", &self.shared.cache.is_some())
             .field("fallback", &self.shared.fallback)
@@ -185,14 +300,21 @@ impl QueryService {
         QueryServiceBuilder::new(oracle, graph)
     }
 
-    /// The shared oracle.
+    /// The construction-time oracle build. For an updatable service this
+    /// is the initial base version; live traffic is answered from the
+    /// current epoch (see [`QueryService::epoch_id`]).
     pub fn oracle(&self) -> &Arc<VicinityOracle> {
-        &self.shared.oracle
+        &self.oracle
     }
 
-    /// The shared graph.
+    /// The construction-time graph (initial base for updatable services).
     pub fn graph(&self) -> &Arc<CsrGraph> {
-        &self.shared.graph
+        &self.graph
+    }
+
+    /// The epoch id (oracle update version) currently being served.
+    pub fn epoch_id(&self) -> u64 {
+        self.shared.current_epoch().id
     }
 
     /// Number of answers currently held by the result cache (0 when caching
@@ -235,60 +357,62 @@ impl QueryService {
         if pairs.is_empty() {
             return Vec::new();
         }
-        // When a result cache is configured, deduplicate the batch before
-        // sharding: every repeated (normalised) pair resolves once, and
-        // the duplicates are filled in afterwards as cache-served — which
-        // they are, the write-back having completed before the fill. This
-        // makes "repeats hit the cache" a *deterministic* property of a
-        // batch instead of a cross-worker timing race, and stops two
-        // workers from redundantly resolving the same pair.
-        if self.shared.cache.is_some() {
-            let mut seen: FastMap<u64, u32> =
-                FastMap::with_capacity_and_hasher(pairs.len(), Default::default());
-            let mut unique: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.len());
-            let mut slots: Vec<u32> = Vec::with_capacity(pairs.len());
-            for &(s, t) in pairs {
-                let slot = *seen.entry(QueryCache::key(s, t)).or_insert_with(|| {
-                    unique.push((s, t));
-                    (unique.len() - 1) as u32
+        // Deduplicate the batch before sharding, cache or no cache: every
+        // repeated (normalised) pair resolves once, and the duplicates are
+        // filled in afterwards. With a result cache the repeats are
+        // reported as cache-served — which they are, the write-back having
+        // completed before the fill; without one they adopt the first
+        // occurrence's answer and method verbatim. Either way this makes
+        // duplicate handling a *deterministic* property of a batch instead
+        // of a cross-worker timing race, and stops two workers from
+        // redundantly resolving the same pair — cacheless services no
+        // longer pay full query cost for duplicate-heavy batches.
+        let report_cache = self.shared.cache.is_some();
+        let mut seen: FastMap<u64, u32> =
+            FastMap::with_capacity_and_hasher(pairs.len(), Default::default());
+        let mut unique: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.len());
+        let mut slots: Vec<u32> = Vec::with_capacity(pairs.len());
+        for &(s, t) in pairs {
+            let slot = *seen.entry(QueryCache::key(s, t)).or_insert_with(|| {
+                unique.push((s, t));
+                (unique.len() - 1) as u32
+            });
+            slots.push(slot);
+        }
+        if unique.len() < pairs.len() {
+            let unique_answers = self.serve_shards(&unique);
+            let mut answers = Vec::with_capacity(pairs.len());
+            let mut first_seen = vec![false; unique.len()];
+            let mut duplicate_methods: Vec<ServedMethod> = Vec::new();
+            for &slot in &slots {
+                let resolved = unique_answers[slot as usize];
+                if !std::mem::replace(&mut first_seen[slot as usize], true) {
+                    answers.push(resolved);
+                    continue;
+                }
+                let answer = match resolved {
+                    ServedAnswer::Exact { distance, .. } if report_cache => ServedAnswer::Exact {
+                        distance,
+                        method: ServedMethod::Cache,
+                    },
+                    other => other,
+                };
+                duplicate_methods.push(match answer {
+                    ServedAnswer::Exact { method, .. } => method,
+                    ServedAnswer::Unreachable => ServedMethod::Unreachable,
+                    ServedAnswer::Miss => ServedMethod::Miss,
                 });
-                slots.push(slot);
+                answers.push(answer);
             }
-            if unique.len() < pairs.len() {
-                let unique_answers = self.serve_shards(&unique);
-                let mut answers = Vec::with_capacity(pairs.len());
-                let mut first_seen = vec![false; unique.len()];
-                let mut duplicate_methods: Vec<ServedMethod> = Vec::new();
-                for &slot in &slots {
-                    let resolved = unique_answers[slot as usize];
-                    if !std::mem::replace(&mut first_seen[slot as usize], true) {
-                        answers.push(resolved);
-                        continue;
-                    }
-                    let answer = match resolved {
-                        ServedAnswer::Exact { distance, .. } => ServedAnswer::Exact {
-                            distance,
-                            method: ServedMethod::Cache,
-                        },
-                        other => other,
-                    };
-                    duplicate_methods.push(match answer {
-                        ServedAnswer::Exact { method, .. } => method,
-                        ServedAnswer::Unreachable => ServedMethod::Unreachable,
-                        ServedAnswer::Miss => ServedMethod::Miss,
-                    });
-                    answers.push(answer);
+            // Account the duplicates (their uniques were recorded by
+            // the worker sessions); no latency sample — they cost
+            // only the fill-in.
+            if let Ok(mut aggregate) = self.shared.aggregate.lock() {
+                for method in duplicate_methods {
+                    aggregate.record(method, None);
                 }
-                // Account the duplicates (their uniques were recorded by
-                // the worker sessions); no latency sample — they cost
-                // only the fill-in.
-                if let Ok(mut aggregate) = self.shared.aggregate.lock() {
-                    for method in duplicate_methods {
-                        aggregate.record(method, None);
-                    }
-                }
-                return answers;
             }
+            return answers;
         }
         self.serve_shards(pairs)
     }
@@ -556,6 +680,150 @@ mod tests {
         let service = small_service(25, 0, 4);
         assert!(service.serve_batch(&[]).is_empty());
         assert_eq!(service.stats().queries, 0);
+    }
+
+    #[test]
+    fn cacheless_serve_batch_dedups_duplicates() {
+        // The dedup satellite: without a result cache, duplicate-heavy
+        // batches must still resolve each unique pair once. Pin it by
+        // comparing index work against an identical service fed only the
+        // unique pairs — and pin the cached configuration alongside.
+        let duplicate_heavy: Vec<(NodeId, NodeId)> =
+            vec![(1, 900), (1, 900), (900, 1), (2, 800), (1, 900), (2, 800)];
+        let unique: Vec<(NodeId, NodeId)> = vec![(1, 900), (2, 800)];
+
+        let cacheless = small_service(31, 0, 1);
+        let reference = small_service(31, 0, 1);
+        let answers = cacheless.serve_batch(&duplicate_heavy);
+        let unique_answers = reference.serve_batch(&unique);
+        // Duplicates adopt the first occurrence's answer *and method*
+        // verbatim — no fake cache provenance.
+        assert_eq!(answers[0], unique_answers[0]);
+        assert_eq!(answers[1], answers[0]);
+        assert_eq!(answers[2], answers[0]);
+        assert_eq!(answers[3], unique_answers[1]);
+        assert_eq!(answers[4], answers[0]);
+        assert_eq!(answers[5], answers[3]);
+        assert!(answers
+            .iter()
+            .all(|a| a.method() != Some(ServedMethod::Cache)));
+        let stats = cacheless.stats();
+        assert_eq!(stats.queries, 6, "every occurrence is accounted");
+        assert_eq!(
+            stats.index_work,
+            reference.stats().index_work,
+            "duplicates must not pay index work beyond the unique set"
+        );
+
+        // Cached configuration: same answers, duplicates reported as
+        // cache-served.
+        let cached = small_service(31, 1024, 1);
+        let cached_answers = cached.serve_batch(&duplicate_heavy);
+        assert_eq!(
+            cached_answers
+                .iter()
+                .map(|a| a.distance())
+                .collect::<Vec<_>>(),
+            answers.iter().map(|a| a.distance()).collect::<Vec<_>>()
+        );
+        assert_eq!(cached_answers[1].method(), Some(ServedMethod::Cache));
+        assert_eq!(cached.stats().index_work, reference.stats().index_work);
+    }
+
+    #[test]
+    fn updatable_service_swaps_epochs_and_invalidates_cache() {
+        // A long path: distance(0, 9) = 9. Insert a shortcut, serve, then
+        // remove it again — each published epoch must be reflected
+        // immediately, and the epoch-stamped cache must never serve a
+        // pre-update answer (this is exactly the workload that would leak
+        // a stale cached 9 after the insert, or a stale 1 after the
+        // removal).
+        let graph = classic::path(10);
+        let oracle = OracleBuilder::new(Alpha::new(2.0).unwrap())
+            .seed(5)
+            .build(&graph);
+        let (service, mut writer) = QueryService::builder(oracle, graph)
+            .threads(1)
+            .cache_capacity(1024)
+            .build_updatable()
+            .unwrap();
+
+        let answers = service.serve_batch(&[(0, 9), (0, 9)]);
+        assert_eq!(answers[0].distance(), Some(9));
+        assert_eq!(answers[1].distance(), Some(9));
+        assert_eq!(service.epoch_id(), 0);
+
+        assert!(writer.insert_edge(0, 9).unwrap());
+        assert_eq!(service.epoch_id(), 1);
+        let answers = service.serve_batch(&[(0, 9), (1, 9)]);
+        assert_eq!(
+            answers[0].distance(),
+            Some(1),
+            "post-insert epoch must not serve the cached pre-insert answer"
+        );
+        assert_eq!(answers[1].distance(), Some(2));
+
+        assert!(writer.remove_edge(0, 9).unwrap());
+        assert_eq!(service.epoch_id(), 2);
+        let answers = service.serve_batch(&[(0, 9)]);
+        assert_eq!(
+            answers[0].distance(),
+            Some(9),
+            "post-removal epoch must not serve the cached shortcut answer"
+        );
+
+        // Compaction keeps the epoch (answers unchanged ⇒ cached entries
+        // stay valid) and keeps serving correct.
+        writer.compact();
+        assert_eq!(service.epoch_id(), 2);
+        assert_eq!(writer.oracle().overlay_len(), 0);
+        assert_eq!(service.serve_batch(&[(0, 9)])[0].distance(), Some(9));
+    }
+
+    #[test]
+    fn updatable_service_with_concurrent_readers() {
+        // Readers hammer the service from worker threads while the writer
+        // applies updates; every answer must be exact for *some* published
+        // graph version — concretely, the only distances (0, n-1) can take
+        // on a path graph with an optional shortcut are 1 and n-1.
+        let graph = classic::path(64);
+        let oracle = OracleBuilder::new(Alpha::new(2.0).unwrap())
+            .seed(6)
+            .build(&graph);
+        let (service, mut writer) = QueryService::builder(oracle, graph)
+            .threads(2)
+            .cache_capacity(256)
+            .build_updatable()
+            .unwrap();
+        std::thread::scope(|scope| {
+            let service = &service;
+            let reader = scope.spawn(move || {
+                for _ in 0..200 {
+                    let answers = service.serve_batch(&[(0, 63), (5, 40), (0, 63)]);
+                    for (i, answer) in answers.iter().enumerate() {
+                        let d = answer.distance().expect("path graph is connected");
+                        // Per-pair bounds, so an answer swapped between
+                        // slots (or a stale cached value) cannot pass:
+                        // (0,63) is 63 or 1 (via the shortcut); (5,40) is
+                        // 35 or 29 (5→0, shortcut, 63→40).
+                        let valid = match i {
+                            1 => d == 35 || d == 29,
+                            _ => d == 63 || d == 1,
+                        };
+                        assert!(valid, "impossible distance {d} served for pair {i}");
+                    }
+                }
+            });
+            for _ in 0..50 {
+                assert!(writer.insert_edge(0, 63).unwrap());
+                assert!(writer.remove_edge(0, 63).unwrap());
+            }
+            reader.join().expect("reader panicked");
+        });
+        assert_eq!(writer.version(), 100);
+        assert_eq!(service.epoch_id(), 100);
+        // Final state: the shortcut is removed again.
+        assert_eq!(service.serve_batch(&[(0, 63)])[0].distance(), Some(63));
     }
 
     #[test]

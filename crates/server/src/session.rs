@@ -1,34 +1,51 @@
 //! Per-worker session state: the full query pipeline with reusable scratch.
 //!
 //! A [`WorkerSession`] is the unit of serving concurrency. Each session
-//! shares the immutable oracle and graph through `Arc`s and owns everything
-//! mutable it needs — the fallback search scratch, the batched-pipeline
-//! staging buffers, and its private statistics — so the query hot path
-//! takes no locks and performs no steady-state allocation, no matter how
-//! many sessions run in parallel. The only shared mutable structure is the
-//! (optional) result cache, which is internally sharded.
+//! shares the service's *epoch slot* — an `Arc` pointer to the current
+//! immutable oracle version — and owns everything mutable it needs: the
+//! fallback search scratch, the batched-pipeline staging buffers, and its
+//! private statistics. The query hot path takes no locks beyond one
+//! epoch-pointer read per block and performs no steady-state allocation,
+//! no matter how many sessions run in parallel. The only shared mutable
+//! structure is the (optional) result cache, which is internally sharded.
+//!
+//! ## Epochs
+//!
+//! A static service keeps one frozen [`Epoch`] forever (id 0). An
+//! updatable service (see `QueryServiceBuilder::build_updatable`) lets a
+//! writer thread apply edge updates to a `DynamicOracle` and publish a new
+//! [`DynamicSnapshot`] per applied update; sessions pick up the current
+//! epoch at the start of every served block, so each block is answered
+//! against one consistent oracle version end to end. Cache entries are
+//! stamped with the epoch that produced them and validated against the
+//! reading session's epoch, so once a session observes a post-update
+//! epoch it can never be served a pre-update cached answer.
 //!
 //! Batches go through [`WorkerSession::serve_into`], which stages the
 //! work instead of looping over [`WorkerSession::serve_one`]: bad requests
 //! and cache hits are peeled off first, duplicate pairs inside the batch
 //! collapse onto one resolution, the remaining pairs run through the
-//! oracle's software-prefetch batch engine
-//! (`VicinityOracle::distance_batch_accumulate`), and only index misses
-//! fall back to the per-session bidirectional BFS. Latency recorded by
-//! `serve_into` is therefore **batch-amortised** (the batch's wall time
-//! divided over its queries) rather than per-query — the honest number
-//! for a batched engine, and the one `serving_throughput` reports.
+//! oracle's software-prefetch batch engine, and only index misses fall
+//! back to the per-session bidirectional BFS (which runs on the epoch's
+//! graph view — frozen CSR or dynamic overlay — through the shared
+//! [`Adjacency`] abstraction). Latency recorded by `serve_into` is
+//! **batch-amortised** (the batch's wall time divided over its queries)
+//! rather than per-query — the honest number for a batched engine, and
+//! the one `serving_throughput` reports.
 //!
 //! Sessions return their scratch buffers to the service's pool and merge
 //! their statistics into the service aggregate when dropped, so repeated
 //! batches reuse allocations instead of growing new ones.
+//!
+//! [`Adjacency`]: vicinity_graph::Adjacency
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use vicinity_baselines::bidirectional_bfs::BidirBfsScratch;
+use vicinity_core::dynamic::DynamicSnapshot;
 use vicinity_core::index::VicinityOracle;
-use vicinity_core::query::DistanceAnswer;
+use vicinity_core::query::{DistanceAnswer, QueryIndex, QueryStats};
 use vicinity_graph::csr::CsrGraph;
 use vicinity_graph::fast_hash::FastMap;
 use vicinity_graph::{Distance, NodeId};
@@ -40,8 +57,139 @@ use crate::stats::{ServedMethod, ServerStats};
 /// to amortise the pipeline's staging sweeps and keep plenty of
 /// independent misses in flight, small enough that cache write-backs from
 /// one block are visible to the next (and to concurrently serving
-/// sessions) at fine granularity.
+/// sessions) at fine granularity — and that epoch swaps published by a
+/// writer thread are observed promptly mid-batch.
 const SERVE_BLOCK: usize = 64;
+
+/// One published oracle version: everything a session needs to answer
+/// queries consistently — the index view and the matching graph for the
+/// fallback search — plus the epoch id cache entries are stamped with.
+pub(crate) struct Epoch {
+    /// Version stamp for cache validation. Static services stay at 0;
+    /// updatable services use the dynamic oracle's update version.
+    pub(crate) id: u64,
+    pub(crate) oracle: EpochOracle,
+}
+
+/// The two oracle forms an epoch can carry. Static services keep the
+/// frozen pair (zero per-query overlay overhead); updatable services
+/// publish overlay snapshots.
+pub(crate) enum EpochOracle {
+    /// An immutable oracle build and the graph it was built over.
+    Frozen {
+        /// The shared index.
+        oracle: Arc<VicinityOracle>,
+        /// The build graph (fallback search substrate).
+        graph: Arc<CsrGraph>,
+    },
+    /// A published dynamic-overlay snapshot (carries its own graph view).
+    Dynamic(DynamicSnapshot),
+}
+
+impl Epoch {
+    pub(crate) fn frozen(oracle: Arc<VicinityOracle>, graph: Arc<CsrGraph>) -> Arc<Self> {
+        Arc::new(Epoch {
+            id: 0,
+            oracle: EpochOracle::Frozen { oracle, graph },
+        })
+    }
+
+    pub(crate) fn dynamic(snapshot: DynamicSnapshot) -> Arc<Self> {
+        Arc::new(Epoch {
+            id: snapshot.version(),
+            oracle: EpochOracle::Dynamic(snapshot),
+        })
+    }
+}
+
+impl EpochOracle {
+    #[inline]
+    pub(crate) fn node_count(&self) -> usize {
+        match self {
+            EpochOracle::Frozen { oracle, .. } => oracle.node_count(),
+            EpochOracle::Dynamic(snapshot) => snapshot.node_count(),
+        }
+    }
+
+    #[inline]
+    fn contains_node(&self, u: NodeId) -> bool {
+        (u as usize) < self.node_count()
+    }
+
+    #[inline]
+    fn distance_accumulate(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        accumulator: &mut QueryStats,
+    ) -> DistanceAnswer {
+        match self {
+            EpochOracle::Frozen { oracle, .. } => oracle.distance_accumulate(s, t, accumulator),
+            EpochOracle::Dynamic(snapshot) => snapshot.distance_accumulate(s, t, accumulator),
+        }
+    }
+
+    #[inline]
+    fn distance_batch_accumulate(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        out: &mut Vec<DistanceAnswer>,
+        accumulator: &mut QueryStats,
+    ) {
+        match self {
+            EpochOracle::Frozen { oracle, .. } => {
+                oracle.distance_batch_accumulate(pairs, out, accumulator)
+            }
+            EpochOracle::Dynamic(snapshot) => {
+                snapshot.distance_batch_accumulate(pairs, out, accumulator)
+            }
+        }
+    }
+
+    /// Exact fallback for an index miss, on this epoch's graph view. When
+    /// both endpoints have stored vicinities, the bidirectional BFS is
+    /// *seeded* with them: the index already holds each endpoint's exact
+    /// distance ball, so the search stamps the ball interiors and resumes
+    /// expansion from the ball boundaries. Misses are precisely the
+    /// queries whose balls do not intersect, which is the seeding
+    /// contract — and under the dynamic overlay the balls consulted are
+    /// the patched ones, so seeding stays exact across updates.
+    fn fallback_distance(
+        &self,
+        scratch: &mut BidirBfsScratch,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Distance> {
+        match self {
+            EpochOracle::Frozen { oracle, graph } => {
+                match (oracle.vicinity(s), oracle.vicinity(t)) {
+                    (Some(vs), Some(vt)) if !vs.is_empty() && !vt.is_empty() => scratch
+                        .distance_seeded(
+                            graph.as_ref(),
+                            vs.iter(),
+                            vs.radius(),
+                            vt.iter(),
+                            vt.radius(),
+                        ),
+                    _ => scratch.distance(graph.as_ref(), s, t),
+                }
+            }
+            EpochOracle::Dynamic(snapshot) => {
+                match (snapshot.vicinity_of(s), snapshot.vicinity_of(t)) {
+                    (Some(vs), Some(vt)) if !vs.is_empty() && !vt.is_empty() => scratch
+                        .distance_seeded(
+                            snapshot.graph(),
+                            vs.iter(),
+                            vs.radius(),
+                            vt.iter(),
+                            vt.radius(),
+                        ),
+                    _ => scratch.distance(snapshot.graph(), s, t),
+                }
+            }
+        }
+    }
+}
 
 /// Result of one served query.
 ///
@@ -100,13 +248,21 @@ impl ServedAnswer {
 /// Everything a session shares with its parent service.
 #[derive(Clone)]
 pub(crate) struct SharedState {
-    pub(crate) oracle: Arc<VicinityOracle>,
-    pub(crate) graph: Arc<CsrGraph>,
+    /// The current oracle version. Readers clone the inner `Arc` once per
+    /// block; a writer thread replaces it on every applied update.
+    pub(crate) epoch: Arc<RwLock<Arc<Epoch>>>,
     pub(crate) cache: Option<Arc<QueryCache>>,
     pub(crate) fallback: bool,
     pub(crate) record_latency: bool,
     pub(crate) aggregate: Arc<Mutex<ServerStats>>,
     pub(crate) scratch_pool: Arc<Mutex<Vec<BidirBfsScratch>>>,
+}
+
+impl SharedState {
+    #[inline]
+    pub(crate) fn current_epoch(&self) -> Arc<Epoch> {
+        self.epoch.read().expect("epoch slot poisoned").clone()
+    }
 }
 
 /// Reusable staging buffers for the batched serving pipeline. Owned by the
@@ -149,12 +305,13 @@ pub struct WorkerSession {
 
 impl WorkerSession {
     pub(crate) fn new(shared: SharedState) -> Self {
+        let node_count = shared.current_epoch().oracle.node_count();
         let scratch = shared
             .scratch_pool
             .lock()
             .expect("scratch pool poisoned")
             .pop()
-            .unwrap_or_else(|| BidirBfsScratch::with_node_capacity(shared.graph.node_count()));
+            .unwrap_or_else(|| BidirBfsScratch::with_node_capacity(node_count));
         WorkerSession {
             shared,
             scratch,
@@ -166,11 +323,12 @@ impl WorkerSession {
     /// Serve one query through the full pipeline: result cache, oracle
     /// index, then (for index misses) the session's allocation-free
     /// bidirectional-BFS fallback. Definitive answers are written back to
-    /// the cache.
+    /// the cache, stamped with the observed epoch.
     pub fn serve_one(&mut self, s: NodeId, t: NodeId) -> ServedAnswer {
+        let epoch = self.shared.current_epoch();
         let start = self.shared.record_latency.then(Instant::now);
 
-        let answer = self.resolve(s, t);
+        let answer = self.resolve(&epoch, s, t);
 
         let latency = start.map(|st| st.elapsed());
         let method = match answer {
@@ -182,15 +340,15 @@ impl WorkerSession {
         answer
     }
 
-    fn resolve(&mut self, s: NodeId, t: NodeId) -> ServedAnswer {
+    fn resolve(&mut self, epoch: &Epoch, s: NodeId, t: NodeId) -> ServedAnswer {
         // Unknown node ids are a bad request, not a provable
         // disconnection: report a miss (never cached) instead of letting
         // the fallback's out-of-range guard masquerade as "unreachable".
-        if !self.shared.oracle.contains_node(s) || !self.shared.oracle.contains_node(t) {
+        if !epoch.oracle.contains_node(s) || !epoch.oracle.contains_node(t) {
             return ServedAnswer::Miss;
         }
         if let Some(cache) = &self.shared.cache {
-            match cache.get(s, t) {
+            match cache.get(s, t, epoch.id) {
                 Some(CachedAnswer::Exact(d)) => {
                     return ServedAnswer::Exact {
                         distance: d,
@@ -206,11 +364,10 @@ impl WorkerSession {
             }
         }
 
-        let answer = self
-            .shared
+        let answer = epoch
             .oracle
             .distance_accumulate(s, t, &mut self.stats.index_work);
-        self.resolve_index_answer(s, t, answer)
+        self.resolve_index_answer(epoch, s, t, answer)
     }
 
     /// Turn a raw index answer into a served answer: write definitive
@@ -219,63 +376,46 @@ impl WorkerSession {
     /// pipeline so their serving semantics cannot drift apart.
     fn resolve_index_answer(
         &mut self,
+        epoch: &Epoch,
         s: NodeId,
         t: NodeId,
         answer: DistanceAnswer,
     ) -> ServedAnswer {
         match answer {
             DistanceAnswer::Exact { distance, method } => {
-                self.cache_store(s, t, CachedAnswer::Exact(distance));
+                self.cache_store(epoch, s, t, CachedAnswer::Exact(distance));
                 ServedAnswer::Exact {
                     distance,
                     method: ServedMethod::Index(method),
                 }
             }
             DistanceAnswer::Unreachable => {
-                self.cache_store(s, t, CachedAnswer::Unreachable);
+                self.cache_store(epoch, s, t, CachedAnswer::Unreachable);
                 ServedAnswer::Unreachable
             }
-            DistanceAnswer::Miss if self.shared.fallback => match self.fallback_distance(s, t) {
-                Some(distance) => {
-                    self.cache_store(s, t, CachedAnswer::Exact(distance));
-                    ServedAnswer::Exact {
-                        distance,
-                        method: ServedMethod::Fallback,
+            DistanceAnswer::Miss if self.shared.fallback => {
+                match epoch.oracle.fallback_distance(&mut self.scratch, s, t) {
+                    Some(distance) => {
+                        self.cache_store(epoch, s, t, CachedAnswer::Exact(distance));
+                        ServedAnswer::Exact {
+                            distance,
+                            method: ServedMethod::Fallback,
+                        }
+                    }
+                    None => {
+                        self.cache_store(epoch, s, t, CachedAnswer::Unreachable);
+                        ServedAnswer::Unreachable
                     }
                 }
-                None => {
-                    self.cache_store(s, t, CachedAnswer::Unreachable);
-                    ServedAnswer::Unreachable
-                }
-            },
+            }
             DistanceAnswer::Miss => ServedAnswer::Miss,
         }
     }
 
-    /// Exact fallback for an index miss. When both endpoints have stored
-    /// vicinities, the bidirectional BFS is *seeded* with them: the index
-    /// already holds each endpoint's exact distance ball, so the search
-    /// stamps the ball interiors and resumes expansion from the ball
-    /// boundaries, skipping the levels the oracle precomputed. Misses are
-    /// precisely the queries whose balls do not intersect, which is the
-    /// seeding contract.
-    fn fallback_distance(&mut self, s: NodeId, t: NodeId) -> Option<Distance> {
-        let graph: &CsrGraph = &self.shared.graph;
-        match (
-            self.shared.oracle.vicinity(s),
-            self.shared.oracle.vicinity(t),
-        ) {
-            (Some(vs), Some(vt)) if !vs.is_empty() && !vt.is_empty() => self
-                .scratch
-                .distance_seeded(graph, vs.iter(), vs.radius(), vt.iter(), vt.radius()),
-            _ => self.scratch.distance(graph, s, t),
-        }
-    }
-
     #[inline]
-    fn cache_store(&self, s: NodeId, t: NodeId, answer: CachedAnswer) {
+    fn cache_store(&self, epoch: &Epoch, s: NodeId, t: NodeId, answer: CachedAnswer) {
         if let Some(cache) = &self.shared.cache {
-            cache.insert(s, t, answer);
+            cache.insert(s, t, epoch.id, answer);
         }
     }
 
@@ -284,11 +424,11 @@ impl WorkerSession {
     /// threads can equally loop over [`WorkerSession::serve_one`].
     ///
     /// This is the batched fast path: cache hits and bad requests are
-    /// peeled off up front, duplicate pairs within the batch collapse onto
-    /// a single resolution when a result cache is configured (reported as
-    /// cache-served — by the time they are answered, the answer *is* in
-    /// the cache; without a cache every occurrence resolves through the
-    /// index, as a serve_one loop would), and everything else runs
+    /// peeled off up front, duplicate pairs within the batch always
+    /// collapse onto a single resolution (with a result cache the repeats
+    /// are reported as cache-served — by the time they are answered, the
+    /// answer *is* in the cache; without one they adopt the first
+    /// occurrence's answer and method verbatim), and everything else runs
     /// through the oracle's staged software-prefetch engine before misses
     /// reach the fallback search. Answers and caching semantics are
     /// identical to a [`WorkerSession::serve_one`] loop; recorded latency
@@ -307,34 +447,35 @@ impl WorkerSession {
         // repeat later in the batch (or served concurrently by another
         // session) still finds the cache populated — the same behaviour a
         // serve_one loop has, at block granularity. Blocks also bound the
-        // staging buffers and keep `out` writes cache-resident.
+        // staging buffers, keep `out` writes cache-resident, and bound how
+        // long a batch can keep answering from a superseded epoch.
         for block_pairs in pairs.chunks(SERVE_BLOCK) {
             self.serve_block(block_pairs, out);
         }
     }
 
-    /// One staged block of [`WorkerSession::serve_into`].
+    /// One staged block of [`WorkerSession::serve_into`], answered against
+    /// a single consistent epoch.
     fn serve_block(&mut self, pairs: &[(NodeId, NodeId)], out: &mut Vec<ServedAnswer>) {
+        let epoch = self.shared.current_epoch();
         let base = out.len();
         let busy_start = Instant::now();
 
         // Stage 1: peel off bad requests and cache hits; collapse
-        // intra-block duplicates (only when a cache is configured — a
-        // serve_one loop would serve the repeat from the write-back, so
-        // dedup-as-cache-hit is cache semantics; without a cache every
-        // occurrence resolves through the index, exactly like serve_one);
-        // placeholder-fill `out` so later stages can write answers by
-        // input position.
-        let dedup = self.shared.cache.is_some();
+        // intra-block duplicates onto one resolution (cacheless services
+        // dedup too — the repeat adopts the first occurrence's answer, so
+        // duplicate-heavy batches never pay the index twice for the same
+        // pair); placeholder-fill `out` so later stages can write answers
+        // by input position.
         let mut batch = std::mem::take(&mut self.batch);
         batch.clear();
         for (i, &(s, t)) in pairs.iter().enumerate() {
-            if !self.shared.oracle.contains_node(s) || !self.shared.oracle.contains_node(t) {
+            if !epoch.oracle.contains_node(s) || !epoch.oracle.contains_node(t) {
                 out.push(ServedAnswer::Miss);
                 continue;
             }
             if let Some(cache) = &self.shared.cache {
-                match cache.get(s, t) {
+                match cache.get(s, t, epoch.id) {
                     Some(CachedAnswer::Exact(d)) => {
                         out.push(ServedAnswer::Exact {
                             distance: d,
@@ -349,15 +490,13 @@ impl WorkerSession {
                     None => {}
                 }
             }
-            if dedup {
-                let key = QueryCache::key(s, t);
-                if let Some(&first) = batch.seen.get(&key) {
-                    batch.duplicates.push((i as u32, first));
-                    out.push(ServedAnswer::Miss); // placeholder, overwritten below
-                    continue;
-                }
-                batch.seen.insert(key, batch.pending_pos.len() as u32);
+            let key = QueryCache::key(s, t);
+            if let Some(&first) = batch.seen.get(&key) {
+                batch.duplicates.push((i as u32, first));
+                out.push(ServedAnswer::Miss); // placeholder, overwritten below
+                continue;
             }
+            batch.seen.insert(key, batch.pending_pos.len() as u32);
             batch.pending_pos.push(i as u32);
             batch.pending_pairs.push((s, t));
             out.push(ServedAnswer::Miss); // placeholder, overwritten below
@@ -366,7 +505,7 @@ impl WorkerSession {
         // Stage 2: resolve the unique uncached pairs of the block through
         // the staged batch engine (header prefetch → span/landmark-row
         // prefetch → warm-line resolution).
-        self.shared.oracle.distance_batch_accumulate(
+        epoch.oracle.distance_batch_accumulate(
             &batch.pending_pairs,
             &mut batch.index_answers,
             &mut self.stats.index_work,
@@ -376,17 +515,20 @@ impl WorkerSession {
         // write definitive answers back to the cache and into `out`.
         for idx in 0..batch.pending_pairs.len() {
             let (s, t) = batch.pending_pairs[idx];
-            let answer = self.resolve_index_answer(s, t, batch.index_answers[idx]);
+            let answer = self.resolve_index_answer(&epoch, s, t, batch.index_answers[idx]);
             out[base + batch.pending_pos[idx] as usize] = answer;
         }
 
-        // Stage 4: duplicates adopt the first occurrence's answer. Exact
-        // answers are cache-served by now; unreachable/miss keep their
-        // own classification (exactly what a serve_one loop reports).
+        // Stage 4: duplicates adopt the first occurrence's answer. With a
+        // result cache, exact answers are cache-served by now and are
+        // reported as such; without one, the duplicate is the same answer
+        // the index (or fallback) just produced, method included —
+        // exactly what a serve_one loop would have recomputed.
+        let report_cache = self.shared.cache.is_some();
         for &(pos, first) in &batch.duplicates {
             let source = out[base + batch.pending_pos[first as usize] as usize];
             out[base + pos as usize] = match source {
-                ServedAnswer::Exact { distance, .. } => ServedAnswer::Exact {
+                ServedAnswer::Exact { distance, .. } if report_cache => ServedAnswer::Exact {
                     distance,
                     method: ServedMethod::Cache,
                 },

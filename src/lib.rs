@@ -32,6 +32,7 @@ pub mod prelude {
     };
     pub use vicinity_core::{
         config::{Alpha, OracleConfig, SamplingStrategy},
+        dynamic::{DynamicOracle, DynamicSnapshot},
         index::VicinityOracle,
         query::{DistanceAnswer, PathAnswer, QueryStats},
         OracleBuilder,
@@ -42,6 +43,6 @@ pub mod prelude {
     };
     pub use vicinity_graph::{csr::CsrGraph, generators::social::SocialGraphConfig, NodeId};
     pub use vicinity_server::{
-        QueryService, ServedAnswer, ServedMethod, ServerStats, WorkerSession,
+        OracleWriter, QueryService, ServedAnswer, ServedMethod, ServerStats, WorkerSession,
     };
 }
